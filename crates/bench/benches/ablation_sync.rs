@@ -1,0 +1,23 @@
+//! Bench for the design-choice ablations: delay-compensated scheduling vs
+//! naive broadcast, and the 90th-percentile vs median detector for the
+//! Large Object stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::ablation;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = ablation::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+    assert!(result.scheduling_helps());
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("scheduling_and_detector_ablation", |b| {
+        b.iter(|| ablation::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

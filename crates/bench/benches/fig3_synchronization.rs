@@ -1,0 +1,22 @@
+//! Bench for Figure 3: request-arrival synchronization of a 45-client crowd.
+//!
+//! Prints the reproduced figure once, then times the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::fig3;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = fig3::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("synchronized_crowd_45", |b| {
+        b.iter(|| fig3::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench for Figure 4: tracking synthetic linear/exponential response-time
+//! models with the MFC median.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::fig4;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = fig4::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("track_linear_and_exponential", |b| {
+        b.iter(|| fig4::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench for Figure 5: the Large Object lab workload (response time and
+//! network usage vs crowd size on a 10 Mbit/s access link).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::fig5;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = fig5::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+    assert!(result.network_is_the_bottleneck());
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("large_object_sweep", |b| {
+        b.iter(|| fig5::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

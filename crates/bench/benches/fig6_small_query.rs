@@ -1,0 +1,22 @@
+//! Bench for Figure 6: the Small Query (FastCGI) lab workload, including
+//! the Mongrel contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::fig6;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = fig6::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+    assert!(result.fastcgi_blows_up_and_mongrel_does_not());
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("small_query_sweep_fcgi_vs_mongrel", |b| {
+        b.iter(|| fig6::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench for Figure 9: Large-Object-stage stopping-size breakdown across
+//! Quantcast rank classes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::rank_figs;
+use mfc_bench::Scale;
+use mfc_core::types::Stage;
+
+fn bench(c: &mut Criterion) {
+    let result = rank_figs::run(Stage::LargeObject, Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("large_object_rank_survey", |b| {
+        b.iter(|| rank_figs::run(Stage::LargeObject, Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Bench for Table 1: MFC and MFC-mr runs against the QTNP server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::table1;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = table1::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("qtnp_three_runs", |b| {
+        b.iter(|| table1::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

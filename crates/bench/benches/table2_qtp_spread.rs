@@ -1,0 +1,22 @@
+//! Bench for Table 2: per-epoch synchronization quality of MFC-mr requests
+//! to the QTP production cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::table2;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = table2::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+    assert!(!result.any_stage_stopped);
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("qtp_mr5_full_run", |b| {
+        b.iter(|| table2::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Bench for Table 3: Univ-2 and Univ-3 under varying background traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::table3;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = table3::run(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("university_runs", |b| {
+        b.iter(|| table3::run(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

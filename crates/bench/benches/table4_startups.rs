@@ -1,0 +1,21 @@
+//! Bench for Table 4: startup-server stopping-size breakdown (Base and
+//! Small Query stages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::special_tables;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = special_tables::run_table4(Scale::Quick, 1);
+    println!("\n{}", result.render_text());
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("startup_survey", |b| {
+        b.iter(|| special_tables::run_table4(Scale::Quick, std::hint::black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p mfc-bench --bin repro -- all
+//! cargo run --release -p mfc-bench --bin repro -- fig5 table1 --full
+//! cargo run --release -p mfc-bench --bin repro -- table3 --json out/
+//! ```
+//!
+//! Without `--full` each experiment runs at [`Scale::Quick`] (small
+//! populations, finishes in seconds); with `--full` the paper's sample
+//! sizes are used.  With `--json DIR` a machine-readable copy of each
+//! result is written to `DIR/<experiment>.json`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use mfc_bench::experiments::{
+    ablation, fig3, fig4, fig5, fig6, rank_figs, special_tables, table1, table2, table3,
+};
+use mfc_bench::Scale;
+use mfc_core::types::Stage;
+
+const SEED: u64 = 20080622;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "fig7", "fig8", "fig9",
+    "table4", "table5", "ablation",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--full] [--json DIR] <experiment|all> [<experiment> ...]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn write_json(dir: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
+    let Some(dir) = dir else { return };
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut file) => {
+            if let Ok(json) = serde_json::to_string_pretty(value) {
+                let _ = file.write_all(json.as_bytes());
+                println!("  [wrote {}]", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+}
+
+fn run_one(name: &str, scale: Scale, json_dir: &Option<PathBuf>) {
+    println!("==> {name}");
+    match name {
+        "fig3" => {
+            let result = fig3::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "fig4" => {
+            let result = fig4::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "fig5" => {
+            let result = fig5::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "fig6" => {
+            let result = fig6::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "table1" => {
+            let result = table1::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "table2" => {
+            let result = table2::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "table3" => {
+            let result = table3::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "fig7" => {
+            let result = rank_figs::run(Stage::Base, scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "fig8" => {
+            let result = rank_figs::run(Stage::SmallQuery, scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "fig9" => {
+            let result = rank_figs::run(Stage::LargeObject, scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "table4" => {
+            let result = special_tables::run_table4(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "table5" => {
+            let result = special_tables::run_table5(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "ablation" => {
+            let result = ablation::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale::Quick;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Paper,
+            "--json" => match iter.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => usage(),
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        usage();
+    }
+    println!("MFC reproduction — scale: {scale:?}, seed: {SEED}\n");
+    for name in selected {
+        run_one(&name, scale, &json_dir);
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Paper artifact | What it reproduces |
+//! |--------|----------------|--------------------|
+//! | [`fig3`] | Figure 3 | request-arrival synchronization for a 45-client crowd |
+//! | [`fig4`] | Figure 4(a,b) | tracking of synthetic linear/exponential response-time models |
+//! | [`fig5`] | Figure 5 | Large Object lab workload: response time and network usage vs crowd |
+//! | [`fig6`] | Figure 6 | Small Query (FastCGI) lab workload: response time, CPU and memory vs crowd |
+//! | [`table1`] | Table 1 | QTNP stopping crowd sizes (standard MFC and MFC-mr) |
+//! | [`table2`] | Table 2 | QTP per-epoch scheduled/received counts and arrival spread |
+//! | [`table3`] | Table 3(a,b) | Univ-2 and Univ-3 runs under varying background traffic |
+//! | [`rank_figs`] | Figures 7–9 | stopping-size breakdowns across Quantcast rank classes |
+//! | [`special_tables`] | Tables 4–5 | startup and phishing server breakdowns |
+//! | [`ablation`] | (ours) | value of delay-compensated scheduling and the 90th-percentile detector |
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod rank_figs;
+pub mod special_tables;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,541 @@
+//! The MFC coordinator: registration, delay computation, epochs, check
+//! phases and termination (Figure 2(a) of the paper).
+//!
+//! For every stage the coordinator:
+//!
+//! 1. verifies that enough clients registered (50 in the paper),
+//! 2. has every client measure its RTT to the target and the *base*
+//!    response time of the object it would request,
+//! 3. runs epochs with a growing crowd (increments of 5–10), scheduling the
+//!    requests so they arrive simultaneously,
+//! 4. watches the median (or, for Large Object, the 90th-percentile)
+//!    *normalized* response time; when it exceeds the threshold θ at a
+//!    crowd of at least 15 it runs a **check phase** — three more epochs
+//!    with `N−1`, `N` and `N+1` clients — and terminates the stage with a
+//!    *stopping crowd size* as soon as one of them also exceeds θ,
+//! 5. otherwise progresses until the crowd cap is reached and declares the
+//!    sub-system unconstrained ("NoStop").
+
+use mfc_simcore::{stats, SimDuration, SimRng};
+
+use crate::backend::MfcBackend;
+use crate::config::MfcConfig;
+use crate::inference::InferenceReport;
+use crate::profile::TargetProfile;
+use crate::report::{MfcReport, StageReport};
+use crate::sync::{ClientLatency, SyncScheduler};
+use crate::types::{
+    ClientId, EpochObservation, EpochPlan, EpochSummary, RequestCommand, Stage, StageOutcome,
+};
+
+/// Why an MFC experiment could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MfcError {
+    /// Fewer clients than [`MfcConfig::min_registered_clients`] responded to
+    /// the registration probe; the experiment is aborted (paper Figure 2(a),
+    /// step 2: "If k < 50, abort").
+    NotEnoughClients {
+        /// Clients that did respond.
+        available: usize,
+        /// Clients required by the configuration.
+        required: usize,
+    },
+    /// The configuration failed validation.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for MfcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MfcError::NotEnoughClients {
+                available,
+                required,
+            } => write!(
+                f,
+                "only {available} clients registered but {required} are required"
+            ),
+            MfcError::InvalidConfig(reason) => write!(f, "invalid MFC configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MfcError {}
+
+/// Per-client state the coordinator keeps during a stage.
+#[derive(Debug, Clone)]
+struct ClientState {
+    latency: ClientLatency,
+}
+
+/// The coordinator.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    config: MfcConfig,
+    seed: u64,
+}
+
+impl Coordinator {
+    /// Creates a coordinator with the given configuration and a default
+    /// seed for its random client selections.
+    pub fn new(config: MfcConfig) -> Self {
+        Coordinator { config, seed: 1 }
+    }
+
+    /// Sets the seed controlling random epoch membership.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MfcConfig {
+        &self.config
+    }
+
+    /// Runs the full MFC experiment against `backend`.
+    pub fn run(&self, backend: &mut dyn MfcBackend) -> Result<MfcReport, MfcError> {
+        self.config
+            .validate()
+            .map_err(MfcError::InvalidConfig)?;
+
+        // CLIENTS REGISTER: collect responsive clients.
+        let mut rng = SimRng::seed_from(self.seed);
+        let registered = backend.registered_clients();
+        let mut responsive: Vec<(ClientId, SimDuration)> = Vec::new();
+        for client in registered {
+            if let Some(rtt) = backend.ping(client) {
+                responsive.push((client, rtt));
+            }
+        }
+        if responsive.len() < self.config.min_registered_clients {
+            return Err(MfcError::NotEnoughClients {
+                available: responsive.len(),
+                required: self.config.min_registered_clients,
+            });
+        }
+
+        // Profiling step.
+        let profile = backend.profile_target();
+
+        let mut stage_reports = Vec::new();
+        for stage in self.config.stages.stages() {
+            let report = if profile.supports(stage) {
+                self.run_stage(backend, stage, &profile, &responsive, &mut rng)
+            } else {
+                StageReport::skipped(stage)
+            };
+            stage_reports.push(report);
+        }
+
+        let inference = InferenceReport::from_stages(&stage_reports, &self.config);
+        Ok(MfcReport {
+            threshold_ms: self.config.threshold.as_millis_f64(),
+            requests_per_client: self.config.requests_per_client,
+            clients_registered: responsive.len(),
+            total_requests: stage_reports.iter().map(|s| s.requests_issued).sum(),
+            stages: stage_reports,
+            inference,
+        })
+    }
+
+    /// Measures the impact of exactly one crowd of `crowd` simultaneous
+    /// requests of the given stage, without running the full escalating
+    /// experiment.
+    ///
+    /// This is the building block behind the lab-validation figures (5 and
+    /// 6), where the interesting output is the response time *and* the
+    /// server-side resource usage at each crowd size rather than a stopping
+    /// crowd; it is also useful to an operator who wants to ask "what does
+    /// a burst of exactly N requests do to my site?".
+    pub fn probe_crowd(
+        &self,
+        backend: &mut dyn MfcBackend,
+        stage: Stage,
+        crowd: usize,
+    ) -> Result<(EpochSummary, EpochObservation), MfcError> {
+        self.config
+            .validate()
+            .map_err(MfcError::InvalidConfig)?;
+        let mut rng = SimRng::seed_from(self.seed);
+        let registered = backend.registered_clients();
+        let mut responsive: Vec<(ClientId, SimDuration)> = Vec::new();
+        for client in registered {
+            if let Some(rtt) = backend.ping(client) {
+                responsive.push((client, rtt));
+            }
+        }
+        if responsive.len() < crowd.max(1) {
+            return Err(MfcError::NotEnoughClients {
+                available: responsive.len(),
+                required: crowd.max(1),
+            });
+        }
+        let profile = backend.profile_target();
+        let mut clients = Vec::new();
+        for (participant_index, (client, coordinator_rtt)) in
+            responsive.iter().take(crowd.max(1)).enumerate()
+        {
+            let Some(request) = profile.request_for(stage, participant_index) else {
+                continue;
+            };
+            let measurement = backend.measure_base(*client, &request);
+            clients.push((
+                ClientState {
+                    latency: ClientLatency {
+                        client: *client,
+                        coordinator_rtt: *coordinator_rtt,
+                        target_rtt: measurement.target_rtt,
+                    },
+                },
+                participant_index,
+            ));
+        }
+        Ok(self.execute_epoch(backend, stage, &profile, &clients, crowd, 1, false, &mut rng))
+    }
+
+    /// Runs one stage to termination.
+    fn run_stage(
+        &self,
+        backend: &mut dyn MfcBackend,
+        stage: Stage,
+        profile: &TargetProfile,
+        responsive: &[(ClientId, SimDuration)],
+        rng: &mut SimRng,
+    ) -> StageReport {
+        // DELAY COMPUTATION: every responsive client measures its RTT to the
+        // target and the base response time of the object it would request.
+        let mut clients = Vec::with_capacity(responsive.len());
+        for (participant_index, (client, coordinator_rtt)) in responsive.iter().enumerate() {
+            let Some(request) = profile.request_for(stage, participant_index) else {
+                continue;
+            };
+            let measurement = backend.measure_base(*client, &request);
+            clients.push((
+                ClientState {
+                    latency: ClientLatency {
+                        client: *client,
+                        coordinator_rtt: *coordinator_rtt,
+                        target_rtt: measurement.target_rtt,
+                    },
+                },
+                participant_index,
+            ));
+        }
+        if clients.is_empty() {
+            return StageReport::skipped(stage);
+        }
+
+        let threshold_ms = self.config.threshold.as_millis_f64();
+        let mut epochs: Vec<EpochSummary> = Vec::new();
+        let mut requests_issued = 0usize;
+        let mut max_crowd_tested = 0usize;
+
+        for (epoch_number, crowd) in self.config.crowd_schedule().into_iter().enumerate() {
+            let crowd = crowd.min(clients.len());
+            let (summary, _) = self.execute_epoch(
+                backend,
+                stage,
+                profile,
+                &clients,
+                crowd,
+                epoch_number as u32 + 1,
+                false,
+                rng,
+            );
+            requests_issued += summary.requests_scheduled;
+            max_crowd_tested = max_crowd_tested.max(summary.crowd_size);
+            let triggered = summary.detector_ms > threshold_ms;
+            epochs.push(summary);
+            backend.wait(self.config.epoch_gap);
+
+            if !triggered {
+                continue;
+            }
+            // Below the minimum crowd the median is not trusted; progress.
+            if crowd < self.config.min_crowd_for_inference {
+                continue;
+            }
+
+            // CHECK PHASE: N−1, a repeat of N, and N+1.
+            let candidates = [crowd.saturating_sub(1).max(1), crowd, crowd + 1];
+            let mut confirmed = false;
+            for check_crowd in candidates {
+                let check_crowd = check_crowd.min(clients.len());
+                let (summary, _) = self.execute_epoch(
+                    backend,
+                    stage,
+                    profile,
+                    &clients,
+                    check_crowd,
+                    epoch_number as u32 + 1,
+                    true,
+                    rng,
+                );
+                requests_issued += summary.requests_scheduled;
+                max_crowd_tested = max_crowd_tested.max(summary.crowd_size);
+                let exceeded = summary.detector_ms > threshold_ms;
+                epochs.push(summary);
+                backend.wait(self.config.epoch_gap);
+                if exceeded {
+                    confirmed = true;
+                    break;
+                }
+            }
+            if confirmed {
+                return StageReport {
+                    stage,
+                    outcome: StageOutcome::Stopped { crowd_size: crowd },
+                    epochs,
+                    requests_issued,
+                };
+            }
+            // Check failed: the degradation was stochastic; keep going.
+        }
+
+        StageReport {
+            stage,
+            outcome: StageOutcome::NoStop { max_crowd_tested },
+            epochs,
+            requests_issued,
+        }
+    }
+
+    /// Schedules, executes and summarizes a single epoch.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_epoch(
+        &self,
+        backend: &mut dyn MfcBackend,
+        stage: Stage,
+        profile: &TargetProfile,
+        clients: &[(ClientState, usize)],
+        crowd: usize,
+        index: u32,
+        check_phase: bool,
+        rng: &mut SimRng,
+    ) -> (EpochSummary, EpochObservation) {
+        // Participants are chosen at random each epoch so that an observed
+        // degradation reflects the crowd size, not the local conditions of
+        // any fixed subset of clients (paper §2.3).
+        let participants = rng.sample(clients, crowd.min(clients.len()).max(1));
+
+        let scheduler = match self.config.stagger {
+            Some(spacing) => SyncScheduler::staggered(self.config.schedule_lead, spacing),
+            None => SyncScheduler::simultaneous(self.config.schedule_lead),
+        };
+        let latencies: Vec<ClientLatency> =
+            participants.iter().map(|(c, _)| c.latency).collect();
+        let scheduled = scheduler.schedule(&latencies);
+
+        let mut commands = Vec::new();
+        for (slot, (state, participant_index)) in participants.iter().enumerate() {
+            let Some(request) = profile.request_for(stage, *participant_index) else {
+                continue;
+            };
+            // MFC-mr: the same client opens several parallel connections.
+            for _ in 0..self.config.requests_per_client {
+                commands.push(RequestCommand {
+                    client: state.latency.client,
+                    request: request.clone(),
+                    send_offset: scheduled[slot].send_offset,
+                    intended_arrival: scheduled[slot].intended_arrival,
+                });
+            }
+        }
+
+        let plan = EpochPlan {
+            stage,
+            index,
+            commands,
+            timeout: self.config.client_timeout,
+        };
+        let observation = backend.run_epoch(&plan);
+
+        let normalized = observation.normalized_ms();
+        let quantile = match stage {
+            Stage::LargeObject => self.config.large_object_quantile,
+            _ => stage.detection_quantile(),
+        };
+        let detector_ms = stats::percentile(&normalized, quantile).unwrap_or(0.0);
+        let median_ms = stats::median(&normalized).unwrap_or(0.0);
+        let arrival_spread_90 =
+            mfc_webserver::request::central_spread(&observation.target_arrivals, 0.9);
+
+        let summary = EpochSummary {
+            index,
+            crowd_size: plan.crowd_size(),
+            requests_scheduled: plan.request_count(),
+            requests_observed: observation.observations.len(),
+            detector_ms,
+            median_ms,
+            check_phase,
+            arrival_spread_90,
+        };
+        (summary, observation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::sim::{SimBackend, SimTargetSpec};
+    use mfc_webserver::{ContentCatalog, ServerConfig};
+
+    fn lab_backend(clients: usize, seed: u64) -> SimBackend {
+        SimBackend::new(
+            SimTargetSpec::single_server(
+                ServerConfig::lab_apache(),
+                ContentCatalog::lab_validation(),
+            ),
+            clients,
+            seed,
+        )
+    }
+
+    #[test]
+    fn aborts_below_minimum_client_count() {
+        let mut backend = lab_backend(20, 1);
+        let err = Coordinator::new(MfcConfig::standard())
+            .run(&mut backend)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MfcError::NotEnoughClients {
+                available: 20,
+                required: 50
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut backend = lab_backend(60, 1);
+        let mut config = MfcConfig::standard();
+        config.max_crowd = 0;
+        let err = Coordinator::new(config).run(&mut backend).unwrap_err();
+        assert!(matches!(err, MfcError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn full_run_produces_three_stage_reports() {
+        let mut backend = lab_backend(60, 2);
+        let config = MfcConfig::standard().with_max_crowd(25).with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.clients_registered, 60);
+        assert!(report.total_requests > 0);
+        for stage_report in &report.stages {
+            assert!(!stage_report.epochs.is_empty() || stage_report.outcome == StageOutcome::Skipped);
+        }
+    }
+
+    #[test]
+    fn thin_link_stops_the_large_object_stage() {
+        // The lab server sits behind 10 Mbit/s: 30+ simultaneous 100 KB
+        // transfers must push the 90th-percentile normalized response time
+        // past 100 ms and stop the stage.
+        let mut backend = lab_backend(60, 3);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::LargeObject])
+            .with_max_crowd(50)
+            .with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        let stage = &report.stages[0];
+        assert!(
+            stage.outcome.stopping_crowd().is_some(),
+            "expected a stopping crowd, got {:?}",
+            stage.outcome
+        );
+    }
+
+    #[test]
+    fn well_provisioned_server_is_no_stop_for_base() {
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+        );
+        let mut backend = SimBackend::new(spec, 60, 4);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(40)
+            .with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        assert!(
+            report.stages[0].outcome.is_no_stop(),
+            "a datacenter-class front end must shrug off 40 HEAD requests: {:?}",
+            report.stages[0].outcome
+        );
+    }
+
+    #[test]
+    fn stage_without_content_is_skipped() {
+        // A catalog with no large objects and no queries.
+        let catalog = ContentCatalog::new(
+            mfc_webserver::ObjectSpec::static_object(
+                "/index.html",
+                mfc_webserver::ObjectKind::Text,
+                4096,
+            ),
+            vec![],
+        );
+        let spec = SimTargetSpec::single_server(ServerConfig::lab_apache(), catalog);
+        let mut backend = SimBackend::new(spec, 55, 5);
+        let config = MfcConfig::standard().with_max_crowd(20);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        let by_stage = |s: Stage| {
+            report
+                .stages
+                .iter()
+                .find(|r| r.stage == s)
+                .map(|r| r.outcome)
+                .unwrap()
+        };
+        assert_eq!(by_stage(Stage::SmallQuery), StageOutcome::Skipped);
+        assert_eq!(by_stage(Stage::LargeObject), StageOutcome::Skipped);
+        assert_ne!(by_stage(Stage::Base), StageOutcome::Skipped);
+    }
+
+    #[test]
+    fn check_phase_epochs_are_flagged() {
+        let mut backend = lab_backend(60, 6);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::LargeObject])
+            .with_max_crowd(50)
+            .with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        let stage = &report.stages[0];
+        if stage.outcome.stopping_crowd().is_some() {
+            assert!(
+                stage.epochs.iter().any(|e| e.check_phase),
+                "a stopped stage must have run at least one check epoch"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_reports() {
+        let config = MfcConfig::standard().with_max_crowd(20).with_increment(10);
+        let run = || {
+            let mut backend = lab_backend(55, 9);
+            Coordinator::new(config.clone())
+                .with_seed(77)
+                .run(&mut backend)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mfc_mr_multiplies_requests_not_crowd() {
+        let mut backend = lab_backend(60, 10);
+        let config = MfcConfig::multi_request(2)
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(10)
+            .with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        let epoch = &report.stages[0].epochs[0];
+        assert_eq!(epoch.crowd_size, 10);
+        assert_eq!(epoch.requests_scheduled, 20);
+    }
+}

@@ -1,0 +1,362 @@
+//! Turning stage outcomes into resource-provisioning inferences.
+//!
+//! The MFC is a black-box technique: all it observes is the crowd size at
+//! which each request class first causes a persistent response-time
+//! degradation.  What the operators actually want is the interpretation the
+//! paper layers on top of those numbers:
+//!
+//! * which *sub-system* (HTTP processing, back-end data processing, access
+//!   bandwidth) is the first to be constrained and at what load,
+//! * how the sub-systems compare (e.g. "bandwidth is provisioned better
+//!   than request handling", the Univ-1/Univ-3 style findings), and
+//! * how exposed the site is to low-volume application-level DDoS attacks
+//!   (§6: a server whose Small Query stage stops at a small crowd while the
+//!   Large Object stage never stops is "highly vulnerable to even the most
+//!   simple application-level attacks on the back-end data processing
+//!   subsystem").
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MfcConfig;
+use crate::report::StageReport;
+use crate::types::{Stage, StageOutcome};
+
+/// The coordinator's verdict for one sub-system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provisioning {
+    /// No confirmed degradation up to the tested crowd ceiling.
+    Unconstrained {
+        /// Largest crowd actually tested.
+        tested_up_to: usize,
+    },
+    /// A confirmed degradation at the given crowd size.
+    ConstrainedAt {
+        /// The stopping crowd size.
+        crowd: usize,
+    },
+    /// The stage could not be evaluated (no suitable content, not run).
+    Unknown,
+}
+
+impl Provisioning {
+    /// A coarse ranking used to compare sub-systems: higher is better
+    /// provisioned.  Unconstrained sub-systems rank above any constrained
+    /// one; among constrained ones a larger stopping crowd ranks higher.
+    fn rank(self) -> Option<usize> {
+        match self {
+            Provisioning::Unconstrained { tested_up_to } => Some(usize::MAX - 1_000 + tested_up_to.min(999)),
+            Provisioning::ConstrainedAt { crowd } => Some(crowd),
+            Provisioning::Unknown => None,
+        }
+    }
+}
+
+/// The verdict for one stage / sub-system pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The stage that produced the verdict.
+    pub stage: Stage,
+    /// The sub-system the stage exercises.
+    pub subsystem: String,
+    /// The verdict.
+    pub provisioning: Provisioning,
+}
+
+/// Exposure to low-rate application-level denial of service (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DdosExposure {
+    /// The back end keels over at a crowd an order of magnitude below what
+    /// the bandwidth sustains: a trivially small botnet suffices.
+    HighBackendExposure,
+    /// At least one sub-system is constrained at the tested loads.
+    SomeExposure,
+    /// Nothing was constrained up to the tested loads.
+    LowExposure,
+    /// Not enough information.
+    Unknown,
+}
+
+/// The full interpretation attached to an MFC report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Per-stage verdicts, in the order the stages were run.
+    pub constraints: Vec<Constraint>,
+    /// Stages ordered from best to worst provisioned (ties broken by stage
+    /// order); only stages that produced a verdict appear.
+    pub best_to_worst: Vec<Stage>,
+    /// DDoS exposure assessment.
+    pub ddos_exposure: DdosExposure,
+    /// Human-readable observations, one sentence each.
+    pub notes: Vec<String>,
+}
+
+impl InferenceReport {
+    /// Builds the interpretation from per-stage reports.
+    pub fn from_stages(stages: &[StageReport], config: &MfcConfig) -> InferenceReport {
+        let constraints: Vec<Constraint> = stages
+            .iter()
+            .map(|report| Constraint {
+                stage: report.stage,
+                subsystem: report.stage.target_subsystem().to_string(),
+                provisioning: match report.outcome {
+                    StageOutcome::Stopped { crowd_size } => {
+                        Provisioning::ConstrainedAt { crowd: crowd_size }
+                    }
+                    StageOutcome::NoStop { max_crowd_tested } => Provisioning::Unconstrained {
+                        tested_up_to: max_crowd_tested,
+                    },
+                    StageOutcome::Skipped => Provisioning::Unknown,
+                },
+            })
+            .collect();
+
+        let mut ranked: Vec<(Stage, usize)> = constraints
+            .iter()
+            .filter_map(|c| c.provisioning.rank().map(|r| (c.stage, r)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        let best_to_worst: Vec<Stage> = ranked.iter().map(|(s, _)| *s).collect();
+
+        let ddos_exposure = Self::assess_ddos(&constraints);
+        let notes = Self::notes(&constraints, config);
+
+        InferenceReport {
+            constraints,
+            best_to_worst,
+            ddos_exposure,
+            notes,
+        }
+    }
+
+    /// Finds the verdict for a stage, if that stage was evaluated.
+    pub fn provisioning_of(&self, stage: Stage) -> Option<Provisioning> {
+        self.constraints
+            .iter()
+            .find(|c| c.stage == stage)
+            .map(|c| c.provisioning)
+    }
+
+    fn assess_ddos(constraints: &[Constraint]) -> DdosExposure {
+        let find = |stage: Stage| {
+            constraints
+                .iter()
+                .find(|c| c.stage == stage)
+                .map(|c| c.provisioning)
+        };
+        let small_query = find(Stage::SmallQuery);
+        let large_object = find(Stage::LargeObject);
+        match (small_query, large_object) {
+            (
+                Some(Provisioning::ConstrainedAt { crowd }),
+                Some(Provisioning::Unconstrained { .. }),
+            ) if crowd <= 50 => DdosExposure::HighBackendExposure,
+            _ => {
+                let any_constrained = constraints
+                    .iter()
+                    .any(|c| matches!(c.provisioning, Provisioning::ConstrainedAt { .. }));
+                let any_known = constraints
+                    .iter()
+                    .any(|c| c.provisioning != Provisioning::Unknown);
+                if any_constrained {
+                    DdosExposure::SomeExposure
+                } else if any_known {
+                    DdosExposure::LowExposure
+                } else {
+                    DdosExposure::Unknown
+                }
+            }
+        }
+    }
+
+    fn notes(constraints: &[Constraint], config: &MfcConfig) -> Vec<String> {
+        let mut notes = Vec::new();
+        let threshold = config.threshold.as_millis_f64();
+        for c in constraints {
+            match c.provisioning {
+                Provisioning::ConstrainedAt { crowd } => notes.push(format!(
+                    "{} stage: {} shows a persistent >{:.0} ms degradation at {} simultaneous requests.",
+                    c.stage.name(),
+                    c.subsystem,
+                    threshold,
+                    crowd
+                )),
+                Provisioning::Unconstrained { tested_up_to } => notes.push(format!(
+                    "{} stage: no confirmed degradation up to {} simultaneous requests; {} appears well provisioned at this load.",
+                    c.stage.name(),
+                    tested_up_to,
+                    c.subsystem
+                )),
+                Provisioning::Unknown => notes.push(format!(
+                    "{} stage: not evaluated (no suitable content discovered).",
+                    c.stage.name()
+                )),
+            }
+        }
+
+        // Comparative observations mirroring the paper's discussions.
+        let get = |stage: Stage| {
+            constraints
+                .iter()
+                .find(|c| c.stage == stage)
+                .map(|c| c.provisioning)
+        };
+        if let (Some(Provisioning::ConstrainedAt { crowd: base }), Some(lo)) =
+            (get(Stage::Base), get(Stage::LargeObject))
+        {
+            if matches!(lo, Provisioning::Unconstrained { .. }) {
+                notes.push(format!(
+                    "Basic request handling degrades at {base} requests while bandwidth does not: \
+                     the problem is more likely request handling than bandwidth provisioning."
+                ));
+            }
+        }
+        if let (
+            Some(Provisioning::ConstrainedAt { crowd: query }),
+            Some(Provisioning::Unconstrained { .. }),
+        ) = (get(Stage::SmallQuery), get(Stage::LargeObject))
+        {
+            if query <= 50 {
+                notes.push(format!(
+                    "The back-end data processing subsystem keels over at only {query} simultaneous \
+                     queries while the access link absorbs every tested load: the site is highly \
+                     vulnerable to low-volume application-level attacks."
+                ));
+            }
+        }
+        notes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::StageReport;
+
+    fn stage_report(stage: Stage, outcome: StageOutcome) -> StageReport {
+        StageReport {
+            stage,
+            outcome,
+            epochs: Vec::new(),
+            requests_issued: 0,
+        }
+    }
+
+    fn config() -> MfcConfig {
+        MfcConfig::standard()
+    }
+
+    #[test]
+    fn verdicts_mirror_outcomes() {
+        let stages = vec![
+            stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 25 }),
+            stage_report(
+                Stage::SmallQuery,
+                StageOutcome::Stopped { crowd_size: 55 },
+            ),
+            stage_report(
+                Stage::LargeObject,
+                StageOutcome::NoStop {
+                    max_crowd_tested: 55,
+                },
+            ),
+        ];
+        let inference = InferenceReport::from_stages(&stages, &config());
+        assert_eq!(
+            inference.provisioning_of(Stage::Base),
+            Some(Provisioning::ConstrainedAt { crowd: 25 })
+        );
+        assert_eq!(
+            inference.provisioning_of(Stage::LargeObject),
+            Some(Provisioning::Unconstrained { tested_up_to: 55 })
+        );
+        // Bandwidth best, then the back end, then base processing.
+        assert_eq!(
+            inference.best_to_worst,
+            vec![Stage::LargeObject, Stage::SmallQuery, Stage::Base]
+        );
+        assert!(!inference.notes.is_empty());
+    }
+
+    #[test]
+    fn qtnp_pattern_flags_backend_ddos_exposure() {
+        // The QTNP-like pattern: bandwidth NoStop, small query stops below
+        // 50 — §6 calls this out as high application-level DDoS exposure.
+        let stages = vec![
+            stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 25 }),
+            stage_report(Stage::SmallQuery, StageOutcome::Stopped { crowd_size: 45 }),
+            stage_report(
+                Stage::LargeObject,
+                StageOutcome::NoStop {
+                    max_crowd_tested: 150,
+                },
+            ),
+        ];
+        let inference = InferenceReport::from_stages(&stages, &config());
+        assert_eq!(inference.ddos_exposure, DdosExposure::HighBackendExposure);
+        assert!(inference
+            .notes
+            .iter()
+            .any(|n| n.contains("application-level")));
+    }
+
+    #[test]
+    fn fully_unconstrained_site_has_low_exposure() {
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                stage_report(
+                    s,
+                    StageOutcome::NoStop {
+                        max_crowd_tested: 75,
+                    },
+                )
+            })
+            .collect::<Vec<_>>();
+        let inference = InferenceReport::from_stages(&stages, &config());
+        assert_eq!(inference.ddos_exposure, DdosExposure::LowExposure);
+        assert_eq!(inference.best_to_worst.len(), 3);
+    }
+
+    #[test]
+    fn skipped_stages_are_unknown() {
+        let stages = vec![
+            stage_report(Stage::Base, StageOutcome::NoStop { max_crowd_tested: 55 }),
+            stage_report(Stage::SmallQuery, StageOutcome::Skipped),
+        ];
+        let inference = InferenceReport::from_stages(&stages, &config());
+        assert_eq!(
+            inference.provisioning_of(Stage::SmallQuery),
+            Some(Provisioning::Unknown)
+        );
+        assert_eq!(inference.provisioning_of(Stage::LargeObject), None);
+        assert!(!inference.best_to_worst.contains(&Stage::SmallQuery));
+    }
+
+    #[test]
+    fn all_skipped_is_unknown_exposure() {
+        let stages = vec![
+            stage_report(Stage::SmallQuery, StageOutcome::Skipped),
+            stage_report(Stage::LargeObject, StageOutcome::Skipped),
+        ];
+        let inference = InferenceReport::from_stages(&stages, &config());
+        assert_eq!(inference.ddos_exposure, DdosExposure::Unknown);
+    }
+
+    #[test]
+    fn base_vs_bandwidth_note_matches_univ3_anecdote() {
+        let stages = vec![
+            stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 90 }),
+            stage_report(
+                Stage::LargeObject,
+                StageOutcome::NoStop {
+                    max_crowd_tested: 150,
+                },
+            ),
+        ];
+        let inference = InferenceReport::from_stages(&stages, &config());
+        assert!(inference
+            .notes
+            .iter()
+            .any(|n| n.contains("request handling")));
+    }
+}

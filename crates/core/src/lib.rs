@@ -1,0 +1,69 @@
+//! Mini-Flash Crowds (MFC): the paper's primary contribution.
+//!
+//! An MFC is a phased set of controlled probes in which an increasing number
+//! of distributed clients make *synchronized* requests that exercise one
+//! specific part of a remote web server — its basic HTTP processing (Base
+//! stage), its back-end data processing (Small Query stage) or its access
+//! bandwidth (Large Object stage).  By watching for a small but persistent
+//! rise in the clients' normalized response times, the coordinator infers
+//! which sub-system is the first to become constrained and at what crowd
+//! size, while staying light-weight enough to run against production sites.
+//!
+//! This crate implements the full MFC machinery described in §2 of the
+//! paper plus the §6 extensions:
+//!
+//! * [`profile`] — crawling/classifying target content into Large Objects,
+//!   Small Queries and the Base page,
+//! * [`sync`] — the delay-compensating request scheduler
+//!   (`T − 0.5·T_coord − 1.5·T_target`) and its staggered variant,
+//! * [`coordinator`] — the stage/epoch/check-phase state machine,
+//! * [`inference`] — turning stopping crowd sizes into per-sub-system
+//!   provisioning verdicts and the DDoS-exposure assessment,
+//! * [`report`] — the human-readable and machine-readable experiment
+//!   reports,
+//! * [`backend`] — the abstraction over *how* clients, the coordinator and
+//!   the target actually talk: [`backend::sim::SimBackend`] drives the
+//!   discrete-event world from `mfc-simnet`/`mfc-webserver`, and
+//!   [`backend::live::LiveBackend`] drives real HTTP clients (from
+//!   `mfc-http`) against a real server over localhost or the network.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mfc_core::backend::sim::{SimBackend, SimTargetSpec};
+//! use mfc_core::coordinator::Coordinator;
+//! use mfc_core::config::MfcConfig;
+//! use mfc_webserver::{ContentCatalog, ServerConfig};
+//!
+//! // A small lab server behind a thin access link.
+//! let spec = SimTargetSpec::single_server(
+//!     ServerConfig::lab_apache(),
+//!     ContentCatalog::lab_validation(),
+//! );
+//! let mut backend = SimBackend::new(spec, 65, 7);
+//!
+//! let config = MfcConfig::standard().with_max_crowd(30);
+//! let report = Coordinator::new(config).run(&mut backend).expect("enough clients");
+//! assert_eq!(report.stages.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod config;
+pub mod coordinator;
+pub mod inference;
+pub mod profile;
+pub mod report;
+pub mod sync;
+pub mod types;
+
+pub use config::{MfcConfig, StageSelection};
+pub use coordinator::Coordinator;
+pub use inference::{Constraint, InferenceReport, Provisioning};
+pub use report::{MfcReport, StageReport};
+pub use types::{
+    ClientId, ClientObservation, EpochObservation, EpochPlan, EpochSummary, RequestCommand,
+    RequestSpec, Stage, StageOutcome,
+};

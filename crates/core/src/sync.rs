@@ -1,0 +1,238 @@
+//! The delay-compensating request scheduler.
+//!
+//! An epoch is only meaningful if the `N` participating requests actually
+//! hit the server *simultaneously*.  Rather than a distributed
+//! synchronization protocol, the paper leverages the centralized
+//! coordinator: each client `i` measures its round-trip time to the target
+//! (`T_target_i`), the coordinator measures its round-trip time to each
+//! client (`T_coord_i`), and the coordinator then transmits the command to
+//! client `i` at
+//!
+//! ```text
+//!     T − 0.5·T_coord_i − 1.5·T_target_i
+//! ```
+//!
+//! so that, if latencies are stationary, the command reaches the client at
+//! `T − 1.5·T_target_i`, the client immediately opens a TCP connection, and
+//! the first byte of the HTTP request lands on the server at `T`
+//! (paper §2.2.4).  The §6 "staggered" extension replaces the single target
+//! instant `T` with a ladder of instants spaced `m` milliseconds apart.
+
+use mfc_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::types::ClientId;
+
+/// The latency measurements the scheduler needs for one client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientLatency {
+    /// The client in question.
+    pub client: ClientId,
+    /// Round-trip time between the coordinator and the client, as measured
+    /// by the coordinator's registration ping.
+    pub coordinator_rtt: SimDuration,
+    /// Round-trip time between the client and the target, as measured by
+    /// the client during the delay-computation step.
+    pub target_rtt: SimDuration,
+}
+
+/// One scheduling decision: when to send the command, and when the request
+/// should arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledCommand {
+    /// The client being scheduled.
+    pub client: ClientId,
+    /// Offset (from the epoch origin) at which the coordinator transmits
+    /// the command.
+    pub send_offset: SimDuration,
+    /// Offset at which the request's first byte is intended to reach the
+    /// target.
+    pub intended_arrival: SimDuration,
+}
+
+/// Computes the command transmission offset for a single client given the
+/// intended arrival offset `target_arrival`.
+///
+/// If the compensation (`0.5·T_coord + 1.5·T_target`) exceeds the intended
+/// arrival offset the send time saturates at zero — the command simply goes
+/// out immediately and that client's request will be late, which is exactly
+/// what happens in the real system when a client is too far away for the
+/// chosen lead time.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_core::sync::{send_offset, ClientLatency};
+/// use mfc_core::types::ClientId;
+/// use mfc_simcore::SimDuration;
+///
+/// let latency = ClientLatency {
+///     client: ClientId(3),
+///     coordinator_rtt: SimDuration::from_millis(40),
+///     target_rtt: SimDuration::from_millis(100),
+/// };
+/// // T = 1s: send at 1s − 20ms − 150ms = 830ms.
+/// let offset = send_offset(&latency, SimDuration::from_secs(1));
+/// assert_eq!(offset, SimDuration::from_millis(830));
+/// ```
+pub fn send_offset(latency: &ClientLatency, target_arrival: SimDuration) -> SimDuration {
+    let compensation =
+        latency.coordinator_rtt.mul_f64(0.5) + latency.target_rtt.mul_f64(1.5);
+    target_arrival.saturating_sub(compensation)
+}
+
+/// The scheduler: turns per-client latency measurements into per-client
+/// command send times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncScheduler {
+    /// The lead time between "now" (when the coordinator starts the epoch)
+    /// and the intended arrival instant of the first request.  Must exceed
+    /// the largest per-client compensation for perfect synchronization.
+    pub lead: SimDuration,
+    /// Spacing between successive intended arrivals; `None` means all
+    /// requests target the same instant (the standard MFC).
+    pub stagger: Option<SimDuration>,
+}
+
+impl SyncScheduler {
+    /// A scheduler with the paper's 15-second lead and simultaneous
+    /// arrivals.
+    pub fn simultaneous(lead: SimDuration) -> Self {
+        SyncScheduler {
+            lead,
+            stagger: None,
+        }
+    }
+
+    /// A scheduler producing one arrival every `spacing` (the §6 staggered
+    /// MFC).
+    pub fn staggered(lead: SimDuration, spacing: SimDuration) -> Self {
+        SyncScheduler {
+            lead,
+            stagger: Some(spacing),
+        }
+    }
+
+    /// Computes the command schedule for the given clients.
+    ///
+    /// The ordering of `latencies` determines which client gets which rung
+    /// of the staggered ladder; for the simultaneous scheduler the order is
+    /// irrelevant.
+    pub fn schedule(&self, latencies: &[ClientLatency]) -> Vec<ScheduledCommand> {
+        latencies
+            .iter()
+            .enumerate()
+            .map(|(i, latency)| {
+                let arrival = match self.stagger {
+                    Some(spacing) => self.lead + spacing * i as u64,
+                    None => self.lead,
+                };
+                ScheduledCommand {
+                    client: latency.client,
+                    send_offset: send_offset(latency, arrival),
+                    intended_arrival: arrival,
+                }
+            })
+            .collect()
+    }
+
+    /// A naive schedule that ignores latency measurements and simply sends
+    /// every command at the epoch origin.  Used by the ablation bench to
+    /// quantify how much the compensation actually buys.
+    pub fn naive_broadcast(&self, latencies: &[ClientLatency]) -> Vec<ScheduledCommand> {
+        latencies
+            .iter()
+            .map(|latency| ScheduledCommand {
+                client: latency.client,
+                send_offset: SimDuration::ZERO,
+                intended_arrival: self.lead,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(client: u32, coord_ms: u64, target_ms: u64) -> ClientLatency {
+        ClientLatency {
+            client: ClientId(client),
+            coordinator_rtt: SimDuration::from_millis(coord_ms),
+            target_rtt: SimDuration::from_millis(target_ms),
+        }
+    }
+
+    #[test]
+    fn send_offset_formula_matches_paper() {
+        // T − 0.5·Tcoord − 1.5·Ttarget
+        let offset = send_offset(&lat(1, 60, 80), SimDuration::from_secs(15));
+        assert_eq!(offset, SimDuration::from_millis(15_000 - 30 - 120));
+    }
+
+    #[test]
+    fn send_offset_saturates_at_zero() {
+        let offset = send_offset(&lat(1, 500, 500), SimDuration::from_millis(100));
+        assert_eq!(offset, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn perfect_latencies_arrive_simultaneously() {
+        // If the network behaves exactly as measured, every request arrives
+        // at `lead`: send_offset + 0.5·Tcoord (command travel) + 1.5·Ttarget
+        // (handshake) == lead for every client.
+        let scheduler = SyncScheduler::simultaneous(SimDuration::from_secs(15));
+        let latencies = vec![lat(0, 20, 30), lat(1, 100, 200), lat(2, 250, 10)];
+        for command in scheduler.schedule(&latencies) {
+            let latency = latencies
+                .iter()
+                .find(|l| l.client == command.client)
+                .unwrap();
+            let arrival = command.send_offset
+                + latency.coordinator_rtt.mul_f64(0.5)
+                + latency.target_rtt.mul_f64(1.5);
+            assert_eq!(arrival, SimDuration::from_secs(15));
+            assert_eq!(command.intended_arrival, SimDuration::from_secs(15));
+        }
+    }
+
+    #[test]
+    fn farther_clients_are_commanded_earlier() {
+        let scheduler = SyncScheduler::simultaneous(SimDuration::from_secs(15));
+        let near = lat(0, 10, 20);
+        let far = lat(1, 10, 300);
+        let commands = scheduler.schedule(&[near, far]);
+        assert!(commands[1].send_offset < commands[0].send_offset);
+    }
+
+    #[test]
+    fn staggered_schedule_spaces_arrivals() {
+        let scheduler =
+            SyncScheduler::staggered(SimDuration::from_secs(15), SimDuration::from_millis(50));
+        let latencies: Vec<ClientLatency> = (0..5).map(|i| lat(i, 40, 60)).collect();
+        let commands = scheduler.schedule(&latencies);
+        for (i, command) in commands.iter().enumerate() {
+            assert_eq!(
+                command.intended_arrival,
+                SimDuration::from_secs(15) + SimDuration::from_millis(50 * i as u64)
+            );
+        }
+        // Successive send offsets also move later for identical latencies.
+        assert!(commands.windows(2).all(|w| w[0].send_offset < w[1].send_offset));
+    }
+
+    #[test]
+    fn naive_broadcast_sends_everything_immediately() {
+        let scheduler = SyncScheduler::simultaneous(SimDuration::from_secs(15));
+        let latencies = vec![lat(0, 20, 30), lat(1, 100, 200)];
+        for command in scheduler.naive_broadcast(&latencies) {
+            assert_eq!(command.send_offset, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn empty_client_list_gives_empty_schedule() {
+        let scheduler = SyncScheduler::simultaneous(SimDuration::from_secs(15));
+        assert!(scheduler.schedule(&[]).is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! Core vocabulary types shared by the coordinator, backends and reports.
+
+use mfc_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one participating MFC client (a PlanetLab host in the paper,
+/// a simulated or thread-backed client here).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+/// The three probing stages of an MFC experiment (paper §2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// HEAD requests for the base page: basic HTTP request processing.
+    Base,
+    /// GETs of small dynamically generated objects: the back-end data
+    /// processing sub-system.
+    SmallQuery,
+    /// GETs of the same large static object: the outbound access link.
+    LargeObject,
+}
+
+impl Stage {
+    /// All stages in the order the paper runs them.
+    pub const ALL: [Stage; 3] = [Stage::Base, Stage::SmallQuery, Stage::LargeObject];
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Base => "Base",
+            Stage::SmallQuery => "Small Query",
+            Stage::LargeObject => "Large Object",
+        }
+    }
+
+    /// The server sub-system this stage is designed to exercise.
+    pub fn target_subsystem(self) -> &'static str {
+        match self {
+            Stage::Base => "HTTP request processing",
+            Stage::SmallQuery => "back-end data processing (database / dynamic handler)",
+            Stage::LargeObject => "outbound access bandwidth",
+        }
+    }
+
+    /// The detection quantile the coordinator applies to normalized response
+    /// times in this stage: the median for Base and Small Query, the 90th
+    /// percentile for Large Object (paper §2.2.3, to avoid mistaking shared
+    /// wide-area bottlenecks for the server's own access link).
+    pub fn detection_quantile(self) -> f64 {
+        match self {
+            Stage::Base | Stage::SmallQuery => 0.5,
+            Stage::LargeObject => 0.9,
+        }
+    }
+}
+
+/// The HTTP method of an MFC request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeMethod {
+    /// `GET` — used by the Small Query and Large Object stages.
+    Get,
+    /// `HEAD` — used by the Base stage.
+    Head,
+}
+
+/// One concrete request an MFC client can be commanded to make.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Method to use.
+    pub method: ProbeMethod,
+    /// Site-relative path (possibly with a query string).
+    pub path: String,
+    /// Stage this request belongs to (decides how the server model treats
+    /// it and which detector the coordinator applies).
+    pub stage: Stage,
+    /// Expected response size in bytes, from the profiling step; used for
+    /// sanity checks and reporting only.
+    pub expected_bytes: u64,
+}
+
+/// A command for one client in one epoch: which request to fire and when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestCommand {
+    /// The client being commanded.
+    pub client: ClientId,
+    /// The request it should issue.
+    pub request: RequestSpec,
+    /// When the coordinator transmits the command, relative to the epoch
+    /// origin (already compensated for coordinator→client and
+    /// client→target delays by the scheduler).
+    pub send_offset: SimDuration,
+    /// The instant (relative to the epoch origin) at which the request's
+    /// first byte is intended to arrive at the target.
+    pub intended_arrival: SimDuration,
+}
+
+/// Everything a backend needs to execute one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochPlan {
+    /// Stage the epoch belongs to.
+    pub stage: Stage,
+    /// Monotonically increasing epoch number within the stage (check-phase
+    /// epochs reuse the number of the epoch that triggered them).
+    pub index: u32,
+    /// Per-client commands.
+    pub commands: Vec<RequestCommand>,
+    /// Client-side timeout: a request not fully answered within this time is
+    /// killed and reported as an error with this response time.
+    pub timeout: SimDuration,
+}
+
+impl EpochPlan {
+    /// Number of participating clients (the crowd size), counting each
+    /// client once even under MFC-mr (which issues several requests per
+    /// client).
+    pub fn crowd_size(&self) -> usize {
+        let mut clients: Vec<ClientId> = self.commands.iter().map(|c| c.client).collect();
+        clients.sort_unstable();
+        clients.dedup();
+        clients.len()
+    }
+
+    /// Total number of requests the epoch will fire at the target.
+    pub fn request_count(&self) -> usize {
+        self.commands.len()
+    }
+}
+
+/// Completion status of one client's request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeStatus {
+    /// A complete response with a success status was received.
+    Ok,
+    /// A complete response with an error status (4xx/5xx) was received.
+    HttpError(u16),
+    /// The request was killed by the client-side timeout.
+    TimedOut,
+    /// The command never reached the client (lost control message) or the
+    /// connection failed outright.
+    Failed,
+}
+
+impl ProbeStatus {
+    /// Whether a usable response-time sample was produced.  Timed-out
+    /// requests still contribute a (pessimistic) sample, as in the paper;
+    /// lost commands do not.
+    pub fn produced_sample(self) -> bool {
+        !matches!(self, ProbeStatus::Failed)
+    }
+}
+
+/// One client's report for one request in one epoch — the
+/// `(client ID, HTTP code, numbytes, response time)` tuple of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientObservation {
+    /// Reporting client.
+    pub client: ClientId,
+    /// Completion status.
+    pub status: ProbeStatus,
+    /// Body bytes received.
+    pub bytes: u64,
+    /// Observed response time for this request.
+    pub response_time: SimDuration,
+    /// The same client's base (unloaded) response time for the same
+    /// request, measured before the epochs started.
+    pub base_response_time: SimDuration,
+}
+
+impl ClientObservation {
+    /// The normalized response time: observed minus base, floored at zero
+    /// (paper §2.2.3).
+    pub fn normalized(&self) -> SimDuration {
+        self.response_time.saturating_sub(self.base_response_time)
+    }
+}
+
+/// What a backend reports after executing an [`EpochPlan`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpochObservation {
+    /// One entry per issued request that produced any result.
+    pub observations: Vec<ClientObservation>,
+    /// Arrival times of the epoch's requests at the target, when the target
+    /// (or its operator) makes logs available: always in simulation, and in
+    /// live mode when the target is an instrumented `mfc-httpd`.
+    pub target_arrivals: Vec<SimTime>,
+    /// Number of commands whose control message was lost before reaching a
+    /// client.
+    pub lost_commands: u32,
+    /// Number of non-MFC (background) requests the target served while the
+    /// epoch ran, when known.
+    pub background_requests: u64,
+    /// Server-side resource usage during the epoch, when the target is
+    /// instrumented (always available in simulation; the paper obtained the
+    /// equivalent from `atop` on cooperating servers, §3.2).
+    pub server_utilization: Option<mfc_webserver::UtilizationReport>,
+}
+
+impl EpochObservation {
+    /// Normalized response times of every observation that produced a
+    /// sample, in milliseconds (the unit the detector thresholds use).
+    pub fn normalized_ms(&self) -> Vec<f64> {
+        self.observations
+            .iter()
+            .filter(|o| o.status.produced_sample())
+            .map(|o| o.normalized().as_millis_f64())
+            .collect()
+    }
+}
+
+/// Summary of one executed epoch kept in the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSummary {
+    /// Epoch number within the stage.
+    pub index: u32,
+    /// Crowd size (distinct clients).
+    pub crowd_size: usize,
+    /// Requests scheduled by the coordinator.
+    pub requests_scheduled: usize,
+    /// Requests that produced a response-time sample.
+    pub requests_observed: usize,
+    /// The detector statistic (median or 90th percentile of normalized
+    /// response times) in milliseconds.
+    pub detector_ms: f64,
+    /// Median normalized response time in milliseconds (reported for every
+    /// stage regardless of the detector used).
+    pub median_ms: f64,
+    /// Whether this epoch was part of a check phase.
+    pub check_phase: bool,
+    /// Spread of the middle 90% of target arrival times, when logs were
+    /// available (Table 2's synchronization metric).
+    pub arrival_spread_90: Option<SimDuration>,
+}
+
+/// How a stage ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageOutcome {
+    /// A confirmed, persistent degradation was observed at the given crowd
+    /// size (the *stopping crowd size*).
+    Stopped {
+        /// Crowd size at which the check phase confirmed the degradation.
+        crowd_size: usize,
+    },
+    /// The stage reached the maximum crowd size without a confirmed
+    /// degradation — the paper's "NoStop": the sub-system is labelled
+    /// unconstrained at the tested load.
+    NoStop {
+        /// Largest crowd size that was actually tested.
+        max_crowd_tested: usize,
+    },
+    /// The stage could not be run (for example, the profiler found no
+    /// object of the required class on the target).
+    Skipped,
+}
+
+impl StageOutcome {
+    /// The stopping crowd size, if the stage stopped.
+    pub fn stopping_crowd(self) -> Option<usize> {
+        match self {
+            StageOutcome::Stopped { crowd_size } => Some(crowd_size),
+            _ => None,
+        }
+    }
+
+    /// True if the stage found no constraint.
+    pub fn is_no_stop(self) -> bool {
+        matches!(self, StageOutcome::NoStop { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_metadata() {
+        assert_eq!(Stage::ALL.len(), 3);
+        assert_eq!(Stage::Base.detection_quantile(), 0.5);
+        assert_eq!(Stage::SmallQuery.detection_quantile(), 0.5);
+        assert_eq!(Stage::LargeObject.detection_quantile(), 0.9);
+        assert_eq!(Stage::Base.name(), "Base");
+        assert!(Stage::LargeObject.target_subsystem().contains("bandwidth"));
+    }
+
+    #[test]
+    fn normalized_response_time_floors_at_zero() {
+        let obs = ClientObservation {
+            client: ClientId(1),
+            status: ProbeStatus::Ok,
+            bytes: 10,
+            response_time: SimDuration::from_millis(80),
+            base_response_time: SimDuration::from_millis(100),
+        };
+        assert_eq!(obs.normalized(), SimDuration::ZERO);
+        let obs = ClientObservation {
+            response_time: SimDuration::from_millis(250),
+            ..obs
+        };
+        assert_eq!(obs.normalized(), SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn epoch_plan_counts_distinct_clients() {
+        let spec = RequestSpec {
+            method: ProbeMethod::Get,
+            path: "/x".into(),
+            stage: Stage::LargeObject,
+            expected_bytes: 100,
+        };
+        let command = |client: u32| RequestCommand {
+            client: ClientId(client),
+            request: spec.clone(),
+            send_offset: SimDuration::ZERO,
+            intended_arrival: SimDuration::from_secs(15),
+        };
+        // MFC-mr style: two requests per client.
+        let plan = EpochPlan {
+            stage: Stage::LargeObject,
+            index: 3,
+            commands: vec![command(1), command(1), command(2), command(2)],
+            timeout: SimDuration::from_secs(10),
+        };
+        assert_eq!(plan.crowd_size(), 2);
+        assert_eq!(plan.request_count(), 4);
+    }
+
+    #[test]
+    fn probe_status_sampling_rules() {
+        assert!(ProbeStatus::Ok.produced_sample());
+        assert!(ProbeStatus::TimedOut.produced_sample());
+        assert!(ProbeStatus::HttpError(503).produced_sample());
+        assert!(!ProbeStatus::Failed.produced_sample());
+    }
+
+    #[test]
+    fn epoch_observation_filters_failed_commands() {
+        let make = |status, ms| ClientObservation {
+            client: ClientId(0),
+            status,
+            bytes: 0,
+            response_time: SimDuration::from_millis(ms),
+            base_response_time: SimDuration::from_millis(10),
+        };
+        let obs = EpochObservation {
+            observations: vec![
+                make(ProbeStatus::Ok, 110),
+                make(ProbeStatus::Failed, 500),
+                make(ProbeStatus::TimedOut, 10_010),
+            ],
+            ..EpochObservation::default()
+        };
+        let normalized = obs.normalized_ms();
+        assert_eq!(normalized.len(), 2);
+        assert!((normalized[0] - 100.0).abs() < 1e-9);
+        assert!((normalized[1] - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_outcome_helpers() {
+        assert_eq!(
+            StageOutcome::Stopped { crowd_size: 40 }.stopping_crowd(),
+            Some(40)
+        );
+        assert_eq!(
+            StageOutcome::NoStop {
+                max_crowd_tested: 150
+            }
+            .stopping_crowd(),
+            None
+        );
+        assert!(StageOutcome::NoStop {
+            max_crowd_tested: 55
+        }
+        .is_no_stop());
+        assert!(!StageOutcome::Skipped.is_no_stop());
+    }
+}

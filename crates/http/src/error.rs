@@ -1,0 +1,92 @@
+//! Error type shared by the HTTP wire format and client.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while parsing messages or talking to a server.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The URL could not be parsed or uses an unsupported scheme.
+    InvalidUrl(String),
+    /// The peer sent bytes that are not a valid HTTP/1.1 message.
+    MalformedMessage(String),
+    /// The response exceeded a configured size limit.
+    TooLarge {
+        /// Configured limit in bytes.
+        limit: usize,
+    },
+    /// The operation did not complete before the configured deadline.
+    TimedOut,
+    /// An underlying socket error.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::InvalidUrl(url) => write!(f, "invalid URL: {url}"),
+            HttpError::MalformedMessage(reason) => write!(f, "malformed HTTP message: {reason}"),
+            HttpError::TooLarge { limit } => {
+                write!(f, "response exceeded the {limit}-byte limit")
+            }
+            HttpError::TimedOut => write!(f, "request timed out"),
+            HttpError::Io(err) => write!(f, "I/O error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(err: io::Error) -> Self {
+        if matches!(
+            err.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            HttpError::TimedOut
+        } else {
+            HttpError::Io(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(format!("{}", HttpError::InvalidUrl("x".into())).contains("invalid URL"));
+        assert!(format!("{}", HttpError::TimedOut).contains("timed out"));
+        assert!(format!("{}", HttpError::TooLarge { limit: 10 }).contains("10-byte"));
+        assert!(
+            format!("{}", HttpError::MalformedMessage("no status line".into()))
+                .contains("no status line")
+        );
+    }
+
+    #[test]
+    fn timeout_io_errors_become_timed_out() {
+        let err: HttpError = io::Error::new(io::ErrorKind::TimedOut, "slow").into();
+        assert!(matches!(err, HttpError::TimedOut));
+        let err: HttpError = io::Error::new(io::ErrorKind::WouldBlock, "slow").into();
+        assert!(matches!(err, HttpError::TimedOut));
+        let err: HttpError = io::Error::new(io::ErrorKind::ConnectionRefused, "nope").into();
+        assert!(matches!(err, HttpError::Io(_)));
+    }
+
+    #[test]
+    fn io_errors_expose_source() {
+        use std::error::Error;
+        let err = HttpError::Io(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(err.source().is_some());
+        assert!(HttpError::TimedOut.source().is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Minimal HTTP/1.1 implementation for the live (non-simulated) MFC mode.
+//!
+//! The paper's MFC clients are simple: they fire a GET or HEAD request when
+//! commanded, wait at most ten seconds, and report the response time, HTTP
+//! status and byte count (Figure 2(b)).  This crate provides exactly the
+//! pieces needed to do that against a real TCP endpoint, with no external
+//! HTTP dependency:
+//!
+//! * [`Url`] — scheme/host/port/path parsing for `http://` targets,
+//! * [`Request`] / [`Response`] — HTTP/1.1 message types with serialization
+//!   and a tolerant parser (status line, headers, `Content-Length` bodies),
+//! * [`Client`] — a blocking client with connect/read timeouts that measures
+//!   wall-clock response time the same way the paper's clients do, and
+//! * [`FetchResult`] — the `(status, bytes, response time)` triple each
+//!   client reports to the coordinator.
+//!
+//! It intentionally supports only what the MFC workload needs: HTTP/1.1,
+//! `GET` and `HEAD`, `Content-Length` or connection-close framing, and no
+//! TLS (the 2007 study targeted plain-HTTP sites).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod message;
+pub mod url;
+
+pub use client::{Client, ClientConfig, FetchResult};
+pub use error::HttpError;
+pub use message::{Method, Request, Response, StatusCode};
+pub use url::Url;

@@ -1,0 +1,386 @@
+//! HTTP/1.1 request and response messages.
+//!
+//! Only the subset the MFC workload exercises is implemented: `GET` and
+//! `HEAD` requests, status-line + header parsing, and bodies framed either
+//! by `Content-Length` or by connection close.  Chunked transfer encoding
+//! is not needed because the paired `mfc-httpd` server always sends a
+//! `Content-Length`.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Read};
+
+use crate::error::HttpError;
+
+/// Request methods used by the MFC stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET` — Large Object and Small Query stages.
+    Get,
+    /// `HEAD` — the Base stage.
+    Head,
+}
+
+impl Method {
+    /// The token as it appears on the request line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Parses a request-line token.
+    pub fn parse(token: &str) -> Result<Method, HttpError> {
+        match token {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            other => Err(HttpError::MalformedMessage(format!(
+                "unsupported method {other}"
+            ))),
+        }
+    }
+}
+
+/// A numeric HTTP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable — what an overloaded server returns when its
+    /// listen queue or worker pool is exhausted.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// `true` for 2xx codes.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// The standard reason phrase for the handful of codes we emit.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path plus optional query string, as sent on the request line.
+    pub target: String,
+    /// Header name/value pairs; names are stored lower-cased.
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Builds a request with the standard headers the MFC client sends.
+    pub fn new(method: Method, target: impl Into<String>, host: &str) -> Request {
+        let mut headers = BTreeMap::new();
+        headers.insert("host".to_string(), host.to_string());
+        headers.insert("user-agent".to_string(), "mfc-client/0.1".to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        Request {
+            method,
+            target: target.into(),
+            headers,
+        }
+    }
+
+    /// Adds or replaces a header (the name is lower-cased).
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Serializes the request for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method.as_str(), self.target);
+        for (name, value) in &self.headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str("\r\n");
+        out.into_bytes()
+    }
+
+    /// Parses a request head (request line + headers) from a buffered
+    /// reader.  The reader is left positioned after the blank line.
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+        let request_line = read_line(reader)?;
+        let mut parts = request_line.split_whitespace();
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::MalformedMessage("missing request target".into()))?
+            .to_string();
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::MalformedMessage(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let headers = read_headers(reader)?;
+        Ok(Request {
+            method,
+            target,
+            headers,
+        })
+    }
+
+    /// Convenience accessor for a header value (name is case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Header name/value pairs; names are stored lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Response body (empty for HEAD responses).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Builds a response with `Content-Length` and `Connection: close`
+    /// headers already set.
+    pub fn new(status: StatusCode, body: Vec<u8>) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".to_string(), body.len().to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        headers.insert("server".to_string(), "mfc-httpd/0.1".to_string());
+        Response {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// Adds or replaces a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Serializes the response head and, unless `head_only`, the body.
+    pub fn to_bytes(&self, head_only: bool) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason());
+        for (name, value) in &self.headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        if !head_only {
+            bytes.extend_from_slice(&self.body);
+        }
+        bytes
+    }
+
+    /// Reads a full response (head + body).
+    ///
+    /// The body is framed by `Content-Length` when present, otherwise by
+    /// connection close.  `max_body` bounds how much is read; exceeding it
+    /// returns [`HttpError::TooLarge`].  For `HEAD` responses callers pass
+    /// `expect_body = false` and the body is not read even if a
+    /// `Content-Length` is advertised.
+    pub fn read_from<R: BufRead>(
+        reader: &mut R,
+        expect_body: bool,
+        max_body: usize,
+    ) -> Result<Response, HttpError> {
+        let status_line = read_line(reader)?;
+        let mut parts = status_line.split_whitespace();
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::MalformedMessage(format!(
+                "bad status line: {status_line}"
+            )));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| HttpError::MalformedMessage("missing status code".into()))?;
+        let headers = read_headers(reader)?;
+        let mut body = Vec::new();
+        if expect_body {
+            let declared = headers
+                .get("content-length")
+                .and_then(|v| v.parse::<usize>().ok());
+            match declared {
+                Some(len) => {
+                    if len > max_body {
+                        return Err(HttpError::TooLarge { limit: max_body });
+                    }
+                    body.resize(len, 0);
+                    reader.read_exact(&mut body)?;
+                }
+                None => {
+                    // Read until the server closes the connection.
+                    let mut limited = reader.take(max_body as u64 + 1);
+                    limited.read_to_end(&mut body)?;
+                    if body.len() > max_body {
+                        return Err(HttpError::TooLarge { limit: max_body });
+                    }
+                }
+            }
+        }
+        Ok(Response {
+            status: StatusCode(code),
+            headers,
+            body,
+        })
+    }
+
+    /// Convenience accessor for a header value.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+    }
+
+    /// Declared `Content-Length`, if present and numeric.
+    pub fn content_length(&self) -> Option<usize> {
+        self.header("content-length").and_then(|v| v.parse().ok())
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::MalformedMessage(
+            "connection closed before message head".into(),
+        ));
+    }
+    Ok(line.trim_end_matches(['\r', '\n']).to_string())
+}
+
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            HttpError::MalformedMessage(format!("header line without a colon: {line}"))
+        })?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_serializes_and_parses_back() {
+        let req = Request::new(Method::Get, "/a/b?x=1", "example.org")
+            .with_header("X-Test", "42");
+        let bytes = req.to_bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.starts_with("GET /a/b?x=1 HTTP/1.1\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+        let parsed = Request::read_from(&mut BufReader::new(&bytes[..])).unwrap();
+        assert_eq!(parsed.method, Method::Get);
+        assert_eq!(parsed.target, "/a/b?x=1");
+        assert_eq!(parsed.header("host"), Some("example.org"));
+        assert_eq!(parsed.header("x-test"), Some("42"));
+    }
+
+    #[test]
+    fn head_request_round_trip() {
+        let req = Request::new(Method::Head, "/", "h");
+        let parsed = Request::read_from(&mut BufReader::new(&req.to_bytes()[..])).unwrap();
+        assert_eq!(parsed.method, Method::Head);
+    }
+
+    #[test]
+    fn rejects_unknown_method_and_version() {
+        let bytes = b"BREW /coffee HTTP/1.1\r\n\r\n".to_vec();
+        assert!(Request::read_from(&mut BufReader::new(&bytes[..])).is_err());
+        let bytes = b"GET / SPDY/9\r\n\r\n".to_vec();
+        assert!(Request::read_from(&mut BufReader::new(&bytes[..])).is_err());
+    }
+
+    #[test]
+    fn response_round_trip_with_body() {
+        let resp = Response::new(StatusCode::OK, b"hello world".to_vec());
+        let bytes = resp.to_bytes(false);
+        let parsed =
+            Response::read_from(&mut BufReader::new(&bytes[..]), true, 1024).unwrap();
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.body, b"hello world");
+        assert_eq!(parsed.content_length(), Some(11));
+    }
+
+    #[test]
+    fn head_response_skips_body() {
+        let resp = Response::new(StatusCode::OK, vec![0u8; 4096]);
+        // A HEAD response advertises the length but sends no body.
+        let bytes = resp.to_bytes(true);
+        let parsed =
+            Response::read_from(&mut BufReader::new(&bytes[..]), false, 1024).unwrap();
+        assert_eq!(parsed.content_length(), Some(4096));
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let resp = Response::new(StatusCode::OK, vec![7u8; 2048]);
+        let bytes = resp.to_bytes(false);
+        let err = Response::read_from(&mut BufReader::new(&bytes[..]), true, 1024).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge { limit: 1024 }));
+    }
+
+    #[test]
+    fn close_framed_body_is_read_to_end() {
+        let raw = b"HTTP/1.1 200 OK\r\nconnection: close\r\n\r\npayload-without-length";
+        let parsed =
+            Response::read_from(&mut BufReader::new(&raw[..]), true, 4096).unwrap();
+        assert_eq!(parsed.body, b"payload-without-length");
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        let raw = b"not an http response at all\r\n\r\n";
+        assert!(Response::read_from(&mut BufReader::new(&raw[..]), true, 10).is_err());
+        let raw = b"HTTP/1.1 200 OK\r\nbroken-header-no-colon\r\n\r\n";
+        assert!(Response::read_from(&mut BufReader::new(&raw[..]), true, 10).is_err());
+        let raw = b"";
+        assert!(Response::read_from(&mut BufReader::new(&raw[..]), true, 10).is_err());
+    }
+
+    #[test]
+    fn status_code_helpers() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::NOT_FOUND.is_success());
+        assert_eq!(StatusCode::OK.reason(), "OK");
+        assert_eq!(StatusCode::SERVICE_UNAVAILABLE.reason(), "Service Unavailable");
+        assert_eq!(StatusCode(418).reason(), "Unknown");
+    }
+
+    #[test]
+    fn method_tokens() {
+        assert_eq!(Method::Get.as_str(), "GET");
+        assert_eq!(Method::parse("HEAD").unwrap(), Method::Head);
+        assert!(Method::parse("POST").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Parsing of `http://` URLs.
+//!
+//! The MFC profiler classifies discovered URLs partly on their *shape*
+//! (anything with a `?` is treated as a CGI query, §2.2.1), so the parser
+//! keeps the path and query string separate and exposes whether a query is
+//! present.
+
+use crate::error::HttpError;
+
+/// A parsed `http://` URL.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_http::Url;
+///
+/// let url = Url::parse("http://example.org:8080/search?q=mfc").unwrap();
+/// assert_eq!(url.host(), "example.org");
+/// assert_eq!(url.port(), 8080);
+/// assert_eq!(url.path(), "/search");
+/// assert_eq!(url.query(), Some("q=mfc"));
+/// assert!(url.is_query_url());
+/// assert_eq!(url.path_and_query(), "/search?q=mfc");
+/// assert_eq!(url.authority(), "example.org:8080");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    host: String,
+    port: u16,
+    path: String,
+    query: Option<String>,
+}
+
+impl Url {
+    /// Parses an absolute `http://` URL.
+    ///
+    /// Only the `http` scheme is accepted — the 2007-era MFC study targets
+    /// plain HTTP, and the live mode of this reproduction follows suit.
+    pub fn parse(raw: &str) -> Result<Url, HttpError> {
+        let raw = raw.trim();
+        let rest = raw
+            .strip_prefix("http://")
+            .ok_or_else(|| HttpError::InvalidUrl(format!("{raw}: only http:// is supported")))?;
+        if rest.is_empty() {
+            return Err(HttpError::InvalidUrl(format!("{raw}: missing host")));
+        }
+        let (authority, path_and_query) = match rest.find('/') {
+            Some(slash) => (&rest[..slash], &rest[slash..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(HttpError::InvalidUrl(format!("{raw}: missing host")));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((host, port_str)) => {
+                let port: u16 = port_str
+                    .parse()
+                    .map_err(|_| HttpError::InvalidUrl(format!("{raw}: bad port {port_str}")))?;
+                (host.to_string(), port)
+            }
+            None => (authority.to_string(), 80),
+        };
+        if host.is_empty() {
+            return Err(HttpError::InvalidUrl(format!("{raw}: missing host")));
+        }
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((path, query)) => (path.to_string(), Some(query.to_string())),
+            None => (path_and_query.to_string(), None),
+        };
+        Ok(Url {
+            host,
+            port,
+            path,
+            query,
+        })
+    }
+
+    /// Builds a URL from parts, normalising an empty path to `/`.
+    pub fn from_parts(host: &str, port: u16, path_and_query: &str) -> Url {
+        let path_and_query = if path_and_query.is_empty() {
+            "/"
+        } else {
+            path_and_query
+        };
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((path, query)) => (path.to_string(), Some(query.to_string())),
+            None => (path_and_query.to_string(), None),
+        };
+        Url {
+            host: host.to_string(),
+            port,
+            path: if path.is_empty() { "/".to_string() } else { path },
+            query,
+        }
+    }
+
+    /// Host name or address.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// TCP port (80 when the URL did not specify one).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Path component, always starting with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Query string without the leading `?`, if present.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Whether this URL contains a query string — the paper's heuristic for
+    /// "dynamically generated" content.
+    pub fn is_query_url(&self) -> bool {
+        self.query.is_some()
+    }
+
+    /// `host:port`, suitable for [`std::net::TcpStream::connect`].
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+
+    /// Path plus query string, as it appears on the request line.
+    pub fn path_and_query(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+
+    /// Resolves a site-relative reference (`/a/b?c=d`) against this URL's
+    /// authority.
+    pub fn join(&self, reference: &str) -> Url {
+        Url::from_parts(&self.host, self.port, reference)
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.port == 80 {
+            write!(f, "http://{}{}", self.host, self.path_and_query())
+        } else {
+            write!(f, "http://{}:{}{}", self.host, self.port, self.path_and_query())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_url() {
+        let url = Url::parse("http://www.example.com:8080/a/b.html?x=1&y=2").unwrap();
+        assert_eq!(url.host(), "www.example.com");
+        assert_eq!(url.port(), 8080);
+        assert_eq!(url.path(), "/a/b.html");
+        assert_eq!(url.query(), Some("x=1&y=2"));
+    }
+
+    #[test]
+    fn default_port_and_path() {
+        let url = Url::parse("http://example.org").unwrap();
+        assert_eq!(url.port(), 80);
+        assert_eq!(url.path(), "/");
+        assert_eq!(url.query(), None);
+        assert!(!url.is_query_url());
+    }
+
+    #[test]
+    fn rejects_non_http_schemes_and_bad_ports() {
+        assert!(Url::parse("https://example.org").is_err());
+        assert!(Url::parse("ftp://example.org").is_err());
+        assert!(Url::parse("http://example.org:notaport/").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http://:80/").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for raw in [
+            "http://example.org/",
+            "http://example.org:8088/a?b=c",
+            "http://127.0.0.1:9000/x/y.bin",
+        ] {
+            let url = Url::parse(raw).unwrap();
+            assert_eq!(Url::parse(&url.to_string()).unwrap(), url);
+        }
+    }
+
+    #[test]
+    fn display_hides_default_port() {
+        let url = Url::parse("http://example.org:80/p").unwrap();
+        assert_eq!(url.to_string(), "http://example.org/p");
+    }
+
+    #[test]
+    fn join_keeps_authority() {
+        let base = Url::parse("http://example.org:8080/index.html").unwrap();
+        let joined = base.join("/objects/big.bin?v=2");
+        assert_eq!(joined.authority(), "example.org:8080");
+        assert_eq!(joined.path(), "/objects/big.bin");
+        assert_eq!(joined.query(), Some("v=2"));
+    }
+
+    #[test]
+    fn from_parts_normalises_empty_path() {
+        let url = Url::from_parts("h", 81, "");
+        assert_eq!(url.path(), "/");
+        assert_eq!(url.path_and_query(), "/");
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        let url = Url::parse("  http://example.org/path \n").unwrap();
+        assert_eq!(url.path(), "/path");
+    }
+}

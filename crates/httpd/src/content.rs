@@ -1,0 +1,173 @@
+//! Synthetic content served by the live validation server.
+//!
+//! The live MFC profiler discovers content by fetching the base page and
+//! following the links it finds, so [`SiteContent::base_page_html`] emits a
+//! small HTML document whose anchors point at every other object — the same
+//! role `ContentCatalog` plays for the simulated servers.
+
+use std::collections::BTreeMap;
+
+/// One URL the live server responds to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteObject {
+    /// Path (optionally including a query string) as it appears in URLs.
+    pub path: String,
+    /// Size of the generated response body in bytes.
+    pub size_bytes: usize,
+    /// Extra service time the handler sleeps per request, in microseconds,
+    /// to emulate back-end work (database scans, template rendering).
+    pub work_us: u64,
+    /// MIME type reported in `Content-Type`.
+    pub content_type: &'static str,
+}
+
+impl SiteObject {
+    /// A static binary object of the given size with no extra work.
+    pub fn binary(path: impl Into<String>, size_bytes: usize) -> Self {
+        SiteObject {
+            path: path.into(),
+            size_bytes,
+            work_us: 0,
+            content_type: "application/octet-stream",
+        }
+    }
+
+    /// A query endpoint returning a small body after `work_us` of simulated
+    /// back-end work.
+    pub fn query(path: impl Into<String>, size_bytes: usize, work_us: u64) -> Self {
+        SiteObject {
+            path: path.into(),
+            size_bytes,
+            work_us,
+            content_type: "text/plain",
+        }
+    }
+}
+
+/// The complete set of objects the live server serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteContent {
+    objects: BTreeMap<String, SiteObject>,
+}
+
+impl SiteContent {
+    /// Creates a site from a list of objects (paths must be unique; later
+    /// duplicates replace earlier ones).
+    pub fn new(objects: Vec<SiteObject>) -> Self {
+        let mut map = BTreeMap::new();
+        for o in objects {
+            map.insert(o.path.clone(), o);
+        }
+        SiteContent { objects: map }
+    }
+
+    /// The default validation site: one large 100 KB object and 64 distinct
+    /// small query endpoints, mirroring the §3 lab content.
+    pub fn validation_site() -> Self {
+        let mut objects = vec![SiteObject::binary("/objects/large_100k.bin", 100 * 1024)];
+        objects.push(SiteObject::binary("/objects/large_1m.bin", 1024 * 1024));
+        for i in 0..64 {
+            objects.push(SiteObject::query(
+                format!("/cgi/stats?item={i}"),
+                256,
+                2_000,
+            ));
+        }
+        SiteContent::new(objects)
+    }
+
+    /// Looks up an object by its full path-and-query string.
+    pub fn lookup(&self, path_and_query: &str) -> Option<&SiteObject> {
+        self.objects.get(path_and_query)
+    }
+
+    /// All objects, in path order.
+    pub fn objects(&self) -> impl Iterator<Item = &SiteObject> {
+        self.objects.values()
+    }
+
+    /// Number of objects (excluding the implicit base page).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects besides the base page exist.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Renders the base page: an HTML document that links to every object so
+    /// a crawler can discover the full site.
+    pub fn base_page_html(&self) -> String {
+        let mut html = String::from(
+            "<!DOCTYPE html>\n<html><head><title>mfc-httpd validation site</title></head><body>\n\
+             <h1>mfc-httpd validation site</h1>\n<ul>\n",
+        );
+        for object in self.objects.values() {
+            html.push_str(&format!(
+                "<li><a href=\"{}\">{}</a> ({} bytes)</li>\n",
+                object.path, object.path, object.size_bytes
+            ));
+        }
+        html.push_str("</ul>\n</body></html>\n");
+        html
+    }
+
+    /// Generates the body bytes for an object (a repeating pattern of the
+    /// requested size — content is irrelevant to the MFC, only its size).
+    pub fn body_for(object: &SiteObject) -> Vec<u8> {
+        let pattern = b"mfc-payload-";
+        let mut body = Vec::with_capacity(object.size_bytes);
+        while body.len() < object.size_bytes {
+            let take = pattern.len().min(object.size_bytes - body.len());
+            body.extend_from_slice(&pattern[..take]);
+        }
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_site_has_large_and_query_objects() {
+        let site = SiteContent::validation_site();
+        assert!(site.lookup("/objects/large_100k.bin").is_some());
+        assert!(site.lookup("/cgi/stats?item=0").is_some());
+        assert!(site.lookup("/missing").is_none());
+        assert!(site.len() > 60);
+        assert!(!site.is_empty());
+    }
+
+    #[test]
+    fn base_page_links_every_object() {
+        let site = SiteContent::validation_site();
+        let html = site.base_page_html();
+        for object in site.objects() {
+            assert!(
+                html.contains(&format!("href=\"{}\"", object.path)),
+                "base page must link {}",
+                object.path
+            );
+        }
+    }
+
+    #[test]
+    fn body_has_exact_size() {
+        for size in [0usize, 1, 11, 12, 13, 100 * 1024] {
+            let object = SiteObject::binary("/x", size);
+            assert_eq!(SiteContent::body_for(&object).len(), size);
+        }
+    }
+
+    #[test]
+    fn duplicate_paths_are_deduplicated() {
+        let site = SiteContent::new(vec![
+            SiteObject::binary("/a", 10),
+            SiteObject::binary("/a", 20),
+        ]);
+        assert_eq!(site.len(), 1);
+        assert_eq!(site.lookup("/a").unwrap().size_bytes, 20);
+    }
+}

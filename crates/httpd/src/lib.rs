@@ -1,0 +1,37 @@
+//! A small threaded HTTP/1.1 server used as a *live* MFC target.
+//!
+//! The paper's §3.1 validation experiments run against "a simple server
+//! (with no real content and background traffic) running a lightweight HTTP
+//! server", instrumented to track request arrival times and to apply
+//! synthetic response-time models.  `mfc-httpd` is that server, rebuilt in
+//! Rust on `std::net`:
+//!
+//! * it serves a configurable synthetic site — a base page whose HTML links
+//!   to the other objects (so the live MFC profiler can crawl it), large
+//!   binary objects of arbitrary size, and query endpoints that burn a
+//!   configurable amount of per-request work;
+//! * it can inject an artificial delay that grows with the number of
+//!   requests currently in flight ([`DelayModel`]), which is how the
+//!   synthetic linear/exponential curves of Figure 4 are produced on a real
+//!   socket;
+//! * it records an arrival log (wall-clock timestamp per request) so
+//!   synchronization spread can be measured exactly as the cooperating
+//!   operators' server logs allowed in §4;
+//! * it bounds concurrency with a worker-thread pool and a bounded accept
+//!   queue, so worker-exhaustion effects (the Univ-2 artifact) can be
+//!   reproduced live as well.
+//!
+//! This crate is *not* used by the simulation path; it exists so the MFC
+//! library can also be exercised end-to-end over real TCP connections (see
+//! the `live_localhost` example and the live integration tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod content;
+pub mod delay;
+pub mod server;
+
+pub use content::{SiteContent, SiteObject};
+pub use delay::DelayModel;
+pub use server::{HttpServer, ServerHandle, ServerOptions, ServerStats};

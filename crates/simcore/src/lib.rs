@@ -1,0 +1,45 @@
+//! Discrete-event simulation core for the Mini-Flash Crowds (MFC) reproduction.
+//!
+//! The MFC paper evaluates its profiling technique against live web servers
+//! reached over the wide-area Internet from PlanetLab client machines.  This
+//! workspace reproduces those experiments on a laptop, so every layer below
+//! the MFC algorithm itself is simulated.  `mfc-simcore` provides the
+//! building blocks every other simulation crate relies on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a deterministic virtual clock with
+//!   microsecond resolution,
+//! * [`EventQueue`] — a calendar queue with stable FIFO ordering for
+//!   simultaneous events and cheap cancellation,
+//! * [`SimRng`] — a seedable random-number source with the handful of
+//!   distributions the workload models need (exponential, log-normal,
+//!   Pareto, truncated normal, …), and
+//! * [`stats`] — the summary statistics the MFC coordinator and the
+//!   experiment harness report (median, arbitrary percentiles, histograms,
+//!   time-weighted utilization series).
+//!
+//! # Examples
+//!
+//! ```
+//! use mfc_simcore::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule(SimTime::ZERO + SimDuration::from_millis(5), "second");
+//! queue.schedule(SimTime::ZERO + SimDuration::from_millis(1), "first");
+//!
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t.as_millis_f64(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::{EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, Summary, TimeWeighted};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,377 @@
+//! Deterministic random-number generation for the simulations.
+//!
+//! Every stochastic quantity in the reproduction — client round-trip times,
+//! background-traffic arrivals, server provisioning draws for the §5
+//! population studies, request jitter — is drawn through [`SimRng`].  The
+//! generator is explicitly seeded so that every experiment in
+//! `EXPERIMENTS.md` can be regenerated bit-for-bit, and it can be *forked*
+//! into independent substreams so that adding draws in one subsystem does
+//! not perturb another (a classic source of accidental non-reproducibility
+//! in event simulations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seedable random source with the distributions the MFC models need.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_simcore::SimRng;
+///
+/// let mut rng = SimRng::seed_from(7);
+/// let x = rng.uniform(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&x));
+///
+/// // Forked substreams are independent but fully determined by the parent
+/// // seed and the label.
+/// let mut net = rng.fork("network");
+/// let mut srv = rng.fork("server");
+/// assert_ne!(net.uniform(0.0, 1.0), srv.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Returns the seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent substream identified by `label`.
+    ///
+    /// The substream seed is a stable hash of the parent seed and the label,
+    /// so the same `(seed, label)` pair always yields the same stream
+    /// regardless of how many draws the parent has made.
+    pub fn fork(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with the parent seed.  Stable across
+        // platforms and Rust versions, unlike `DefaultHasher`.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed.rotate_left(17);
+        for byte in label.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimRng::seed_from(h)
+    }
+
+    /// Derives an independent substream identified by an integer index.
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        self.fork(&format!("{label}/{index}"))
+    }
+
+    /// Draws a uniform value in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low <= high, "uniform bounds out of order: {low} > {high}");
+        if low == high {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// Draws a uniform integer in `[low, high]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low <= high, "uniform bounds out of order: {low} > {high}");
+        self.inner.gen_range(low..=high)
+    }
+
+    /// Draws a `usize` index uniformly in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot draw an index from an empty range");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Draws from an exponential distribution with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times of background traffic.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Draws from a normal distribution via the Box–Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if std_dev <= 0.0 {
+            return mean;
+        }
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Draws from a normal distribution truncated to `[low, high]`.
+    ///
+    /// Truncation is by clamping rather than rejection so the cost is
+    /// constant; the tails this shifts are irrelevant at the fidelity of the
+    /// MFC models.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, low: f64, high: f64) -> f64 {
+        self.normal(mean, std_dev).clamp(low, high)
+    }
+
+    /// Draws from a log-normal distribution parameterised by the mean and
+    /// standard deviation of the underlying normal.
+    ///
+    /// Used for heavy-tailed quantities such as wide-area RTTs and static
+    /// object sizes.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Draws from a Pareto distribution with scale `x_min` and shape `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0, "pareto scale must be positive");
+        assert!(alpha > 0.0, "pareto shape must be positive");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Draws a random duration uniformly between `low` and `high`.
+    pub fn duration_between(&mut self, low: SimDuration, high: SimDuration) -> SimDuration {
+        let lo = low.as_micros();
+        let hi = high.as_micros().max(lo);
+        SimDuration::from_micros(self.uniform_u64(lo, hi))
+    }
+
+    /// Draws an exponentially distributed duration with the given mean.
+    pub fn exponential_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// Chooses `count` distinct elements uniformly at random from `items`,
+    /// preserving no particular order.
+    ///
+    /// This mirrors the coordinator's behaviour of picking the participating
+    /// clients for each epoch at random from the registered pool (paper
+    /// §2.3).  If `count >= items.len()` a shuffled copy of the whole slice
+    /// is returned.
+    pub fn sample<T: Clone>(&mut self, items: &[T], count: usize) -> Vec<T> {
+        let mut indices: Vec<usize> = (0..items.len()).collect();
+        // Partial Fisher-Yates: only the first `count` positions are needed.
+        let take = count.min(items.len());
+        for i in 0..take {
+            let j = self.inner.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices[..take].iter().map(|&i| items[i].clone()).collect()
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks one element of `items` with probability proportional to its
+    /// paired weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or all weights are non-positive.
+    pub fn weighted_choice<'a, T>(&mut self, items: &'a [(T, f64)]) -> &'a T {
+        assert!(!items.is_empty(), "weighted_choice on empty slice");
+        let total: f64 = items.iter().map(|(_, w)| w.max(0.0)).sum();
+        assert!(total > 0.0, "weighted_choice requires a positive weight");
+        let mut target = self.uniform(0.0, total);
+        for (item, w) in items {
+            let w = w.max(0.0);
+            if target < w {
+                return item;
+            }
+            target -= w;
+        }
+        &items[items.len() - 1].0
+    }
+
+    /// Exposes the underlying [`Rng`] for the rare caller that needs a raw
+    /// draw (e.g. property tests interoperating with `proptest`).
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..64 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32)
+            .filter(|_| a.uniform_u64(0, u64::MAX) == b.uniform_u64(0, u64::MAX))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_stable_and_independent_of_parent_draws() {
+        let parent = SimRng::seed_from(99);
+        let mut f1 = parent.fork("net");
+        let mut parent2 = SimRng::seed_from(99);
+        // Burn some draws on the second parent before forking.
+        for _ in 0..10 {
+            parent2.uniform(0.0, 1.0);
+        }
+        let mut f2 = parent2.fork("net");
+        for _ in 0..16 {
+            assert_eq!(f1.uniform_u64(0, u64::MAX), f2.uniform_u64(0, u64::MAX));
+        }
+    }
+
+    #[test]
+    fn fork_labels_distinguish_streams() {
+        let parent = SimRng::seed_from(5);
+        let mut a = parent.fork("a");
+        let mut b = parent.fork("b");
+        assert_ne!(a.uniform_u64(0, u64::MAX), b.uniform_u64(0, u64::MAX));
+        let mut i0 = parent.fork_indexed("client", 0);
+        let mut i1 = parent.fork_indexed("client", 1);
+        assert_ne!(i0.uniform_u64(0, u64::MAX), i1.uniform_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = SimRng::seed_from(42);
+        let n = 20_000;
+        let mean = 5.0;
+        let total: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = total / n as f64;
+        assert!((observed - mean).abs() < 0.2, "observed mean {observed}");
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = SimRng::seed_from(43);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::seed_from(44);
+        for _ in 0..1_000 {
+            assert!(rng.pareto(100.0, 1.2) >= 100.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(45);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn sample_returns_distinct_elements() {
+        let mut rng = SimRng::seed_from(46);
+        let items: Vec<u32> = (0..100).collect();
+        let picked = rng.sample(&items, 30);
+        assert_eq!(picked.len(), 30);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "sampled elements must be distinct");
+    }
+
+    #[test]
+    fn sample_more_than_available_returns_all() {
+        let mut rng = SimRng::seed_from(47);
+        let items = vec![1, 2, 3];
+        let picked = rng.sample(&items, 10);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn weighted_choice_prefers_heavy_items() {
+        let mut rng = SimRng::seed_from(48);
+        let items = [("rare", 1.0), ("common", 99.0)];
+        let common = (0..1_000)
+            .filter(|_| *rng.weighted_choice(&items) == "common")
+            .count();
+        assert!(common > 900, "common picked only {common} times");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(49);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duration_helpers() {
+        let mut rng = SimRng::seed_from(50);
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(20);
+        for _ in 0..100 {
+            let d = rng.duration_between(lo, hi);
+            assert!(d >= lo && d <= hi);
+        }
+        let mean = SimDuration::from_millis(100);
+        let n = 5_000;
+        let total: SimDuration = (0..n).map(|_| rng.exponential_duration(mean)).sum();
+        let observed = total.as_millis_f64() / n as f64;
+        assert!((observed - 100.0).abs() < 10.0, "observed mean {observed}ms");
+    }
+}

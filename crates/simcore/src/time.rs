@@ -1,0 +1,405 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! Simulated time is kept as an integer number of microseconds since the
+//! start of the simulation.  Microsecond resolution is fine for the MFC
+//! experiments: the smallest quantities the paper reasons about are
+//! millisecond-scale response-time increases and the synchronization spread
+//! of request arrivals, which it reports with millisecond granularity.
+//! Using integers (rather than `f64` seconds) keeps event ordering exact and
+//! the simulation bit-for-bit reproducible across runs and platforms.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of virtual time, stored as whole microseconds.
+///
+/// `SimDuration` mirrors a small subset of [`std::time::Duration`] but is
+/// cheap, `Copy`, serializable and convertible to/from floating-point
+/// seconds and milliseconds, which the statistics code works in.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_simcore::SimDuration;
+///
+/// let rtt = SimDuration::from_millis(80);
+/// assert_eq!(rtt.as_micros(), 80_000);
+/// assert_eq!((rtt * 3).as_millis_f64(), 240.0);
+/// assert_eq!(rtt.mul_f64(1.5).as_millis_f64(), 120.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration {
+    micros: u64,
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { micros: 0 };
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { micros }
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Creates a duration from fractional seconds, saturating at zero for
+    /// negative or non-finite inputs.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration {
+            micros: (secs * 1_000_000.0).round() as u64,
+        }
+    }
+
+    /// Creates a duration from fractional milliseconds, saturating at zero
+    /// for negative or non-finite inputs.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        Self::from_secs_f64(millis / 1_000.0)
+    }
+
+    /// Returns the duration as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1_000_000.0
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.micros == 0
+    }
+
+    /// Multiplies the duration by a non-negative floating point factor,
+    /// saturating at zero for negative or non-finite factors.
+    pub fn mul_f64(self, factor: f64) -> Self {
+        Self::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    pub fn saturating_sub(self, other: SimDuration) -> Self {
+        SimDuration {
+            micros: self.micros.saturating_sub(other.micros),
+        }
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> Self {
+        if self.micros >= other.micros {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> Self {
+        if self.micros <= other.micros {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.micros >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            micros: self.micros + rhs.micros,
+        }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            micros: self
+                .micros
+                .checked_sub(rhs.micros)
+                .expect("SimDuration subtraction underflow"),
+        }
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            micros: self.micros * rhs,
+        }
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            micros: self.micros / rhs,
+        }
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+/// An instant on the simulation clock, measured from the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_simcore::{SimTime, SimDuration};
+///
+/// let start = SimTime::ZERO;
+/// let later = start + SimDuration::from_secs(10);
+/// assert_eq!(later - start, SimDuration::from_secs(10));
+/// assert!(later > start);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime {
+    micros: u64,
+}
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime { micros: 0 };
+
+    /// Creates an instant from whole microseconds since the origin.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime { micros }
+    }
+
+    /// Creates an instant from fractional seconds since the origin,
+    /// saturating at zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime {
+            micros: SimDuration::from_secs_f64(secs).as_micros(),
+        }
+    }
+
+    /// Returns the instant as whole microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Returns the instant as fractional milliseconds since the origin.
+    pub fn as_millis_f64(self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    /// Returns the instant as fractional seconds since the origin.
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, or zero if `earlier`
+    /// is actually later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration {
+            micros: self.micros.saturating_sub(earlier.micros),
+        }
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.micros >= other.micros {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.micros <= other.micros {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime {
+            micros: self.micros + rhs.as_micros(),
+        }
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.micros += rhs.as_micros();
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime {
+            micros: self
+                .micros
+                .checked_sub(rhs.as_micros())
+                .expect("SimTime subtraction underflow"),
+        }
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration {
+            micros: self
+                .micros
+                .checked_sub(rhs.micros)
+                .expect("SimTime difference underflow"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_micros(), 250_000);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
+    }
+
+    #[test]
+    fn duration_from_negative_or_nan_is_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!((a + b).as_micros(), 14_000);
+        assert_eq!((a - b).as_micros(), 6_000);
+        assert_eq!((a * 3).as_micros(), 30_000);
+        assert_eq!((a / 2).as_micros(), 5_000);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(a.mul_f64(0.5).as_micros(), 5_000);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_sub_underflow_panics() {
+        let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs(3);
+        assert_eq!(t1 - t0, SimDuration::from_secs(3));
+        assert_eq!(t1.saturating_since(t0), SimDuration::from_secs(3));
+        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+        assert_eq!(t1.max(t0), t1);
+        assert_eq!(t1.min(t0), t0);
+        assert_eq!((t1 - SimDuration::from_secs(1)).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "250.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(
+            format!("{}", SimTime::ZERO + SimDuration::from_millis(1)),
+            "0.001000s"
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Max–min fair fluid model of a shared bottleneck link.
+//!
+//! The Large Object stage of an MFC exists to answer one question: at what
+//! number of concurrent large transfers does the *server's outbound access
+//! link* start inflating response times (paper §2.2.2)?  To reproduce that
+//! we need a model of many simultaneous response transfers sharing one link,
+//! where each flow may additionally be capped below its fair share by the
+//! client's own downlink or by TCP window limits.
+//!
+//! [`FluidLink`] implements the classic progressive-filling (max–min
+//! fairness) allocation: capacity is divided equally among unsaturated
+//! flows, flows capped below the equal share keep their cap, and the excess
+//! is redistributed.  The link is advanced explicitly by the caller's event
+//! loop: [`FluidLink::next_completion`] reports when the earliest active
+//! flow would finish if nothing changes, and [`FluidLink::advance`] drains
+//! the appropriate number of bytes from every flow up to a given time.
+
+use std::collections::HashMap;
+
+use mfc_simcore::{SimDuration, SimTime};
+
+use crate::Bandwidth;
+
+/// Identifies one flow (one HTTP response transfer) on a [`FluidLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining_bytes: f64,
+    /// Per-flow rate ceiling in bytes/s (client downlink, TCP window, …).
+    rate_cap: Bandwidth,
+    /// Rate assigned by the most recent allocation pass.
+    current_rate: Bandwidth,
+}
+
+/// A shared bottleneck link with max–min fair bandwidth allocation.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_simcore::SimTime;
+/// use mfc_simnet::{FluidLink, FlowId, mbps};
+///
+/// // A 8 Mbit/s access link (1 MB/s) shared by two transfers.
+/// let mut link = FluidLink::new(mbps(8.0));
+/// let t0 = SimTime::ZERO;
+/// link.start_flow(FlowId(1), 500_000.0, f64::INFINITY, t0);
+/// link.start_flow(FlowId(2), 500_000.0, f64::INFINITY, t0);
+///
+/// // Each flow gets 0.5 MB/s, so both finish after one second.
+/// let (t, id) = link.next_completion(t0).unwrap();
+/// assert_eq!((t - t0).as_secs_f64(), 1.0);
+/// assert_eq!(id, FlowId(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FluidLink {
+    capacity: Bandwidth,
+    flows: HashMap<FlowId, Flow>,
+    last_advance: SimTime,
+    bytes_transferred: f64,
+}
+
+impl FluidLink {
+    /// Creates a link with the given capacity in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn new(capacity: Bandwidth) -> Self {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        FluidLink {
+            capacity,
+            flows: HashMap::new(),
+            last_advance: SimTime::ZERO,
+            bytes_transferred: 0.0,
+        }
+    }
+
+    /// The configured capacity in bytes per second.
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes drained through the link since construction.
+    pub fn bytes_transferred(&self) -> f64 {
+        self.bytes_transferred
+    }
+
+    /// Current aggregate throughput in bytes per second.
+    pub fn utilization_bytes_per_sec(&self) -> f64 {
+        self.flows.values().map(|f| f.current_rate).sum()
+    }
+
+    /// Starts a new transfer of `bytes` bytes at time `now`, individually
+    /// capped at `rate_cap` bytes/s.
+    ///
+    /// The caller must have advanced the link to `now` (this method does it
+    /// defensively).  Adding a flow triggers a re-allocation of rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow id is already active or `bytes` is negative.
+    pub fn start_flow(&mut self, id: FlowId, bytes: f64, rate_cap: Bandwidth, now: SimTime) {
+        assert!(bytes >= 0.0, "flow size must be non-negative");
+        self.advance(now);
+        let previous = self.flows.insert(
+            id,
+            Flow {
+                remaining_bytes: bytes,
+                rate_cap: rate_cap.max(0.0),
+                current_rate: 0.0,
+            },
+        );
+        assert!(previous.is_none(), "flow {id:?} is already active");
+        self.reallocate();
+    }
+
+    /// Removes a flow (typically after [`Self::next_completion`] reported it
+    /// finished, or because the request timed out).  Returns the number of
+    /// bytes that had not yet been transferred.
+    pub fn finish_flow(&mut self, id: FlowId, now: SimTime) -> Option<f64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        self.reallocate();
+        Some(flow.remaining_bytes)
+    }
+
+    /// Advances the fluid model to `now`, draining bytes from every active
+    /// flow at its currently allocated rate.
+    ///
+    /// Flows whose remaining bytes reach zero stay in the link (at zero
+    /// remaining) until [`Self::finish_flow`] removes them, so completion
+    /// bookkeeping stays with the caller's event loop.
+    pub fn advance(&mut self, now: SimTime) {
+        if now <= self.last_advance {
+            return;
+        }
+        let elapsed = (now - self.last_advance).as_secs_f64();
+        for flow in self.flows.values_mut() {
+            let drained = (flow.current_rate * elapsed).min(flow.remaining_bytes);
+            flow.remaining_bytes -= drained;
+            self.bytes_transferred += drained;
+        }
+        self.last_advance = now;
+    }
+
+    /// Returns the time and id of the flow that will complete first if no
+    /// flows are added or removed, or `None` when no active flow has bytes
+    /// remaining.
+    ///
+    /// Ties are broken by the smaller [`FlowId`] so results are
+    /// deterministic.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, FlowId)> {
+        self.advance(now);
+        let mut best: Option<(SimDuration, FlowId)> = None;
+        for (&id, flow) in &self.flows {
+            if flow.remaining_bytes <= 0.0 {
+                // Already drained: completes "now".
+                let candidate = (SimDuration::ZERO, id);
+                best = Some(match best {
+                    Some(b) if b <= candidate => b,
+                    _ => candidate,
+                });
+                continue;
+            }
+            if flow.current_rate <= 0.0 {
+                continue;
+            }
+            let secs = flow.remaining_bytes / flow.current_rate;
+            // Round *up* to the clock's microsecond resolution so that
+            // advancing to the reported completion time always drains the
+            // flow completely; rounding to nearest could leave a sliver of
+            // bytes behind on very fast links.
+            let micros = (secs * 1_000_000.0).ceil().max(0.0) as u64;
+            let candidate = (SimDuration::from_micros(micros), id);
+            best = Some(match best {
+                Some(b) if b <= candidate => b,
+                _ => candidate,
+            });
+        }
+        best.map(|(d, id)| (self.last_advance + d, id))
+    }
+
+    /// Remaining bytes for a flow, if it is active.
+    pub fn remaining_bytes(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining_bytes)
+    }
+
+    /// The rate currently allocated to a flow in bytes/s, if it is active.
+    pub fn current_rate(&self, id: FlowId) -> Option<Bandwidth> {
+        self.flows.get(&id).map(|f| f.current_rate)
+    }
+
+    /// Recomputes the max–min fair allocation (progressive filling).
+    fn reallocate(&mut self) {
+        let mut unassigned: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining_bytes > 0.0)
+            .map(|(&id, _)| id)
+            .collect();
+        // Deterministic iteration order.
+        unassigned.sort_unstable();
+
+        // Flows with no bytes left get rate zero.
+        for flow in self.flows.values_mut() {
+            flow.current_rate = 0.0;
+        }
+
+        let mut capacity_left = self.capacity;
+        // Progressive filling: repeatedly give every unassigned flow an equal
+        // share; flows whose cap is below the share are frozen at their cap
+        // and the loop repeats with the leftover capacity.
+        while !unassigned.is_empty() && capacity_left > f64::EPSILON {
+            let share = capacity_left / unassigned.len() as f64;
+            let mut frozen = Vec::new();
+            for &id in &unassigned {
+                let cap = self.flows[&id].rate_cap;
+                if cap <= share {
+                    frozen.push(id);
+                }
+            }
+            if frozen.is_empty() {
+                // Everyone can use the equal share.
+                for id in &unassigned {
+                    self.flows.get_mut(id).expect("flow exists").current_rate = share;
+                }
+                capacity_left = 0.0;
+                unassigned.clear();
+            } else {
+                for id in &frozen {
+                    let cap = self.flows[id].rate_cap;
+                    self.flows.get_mut(id).expect("flow exists").current_rate = cap;
+                    capacity_left -= cap;
+                }
+                unassigned.retain(|id| !frozen.contains(id));
+                capacity_left = capacity_left.max(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfc_simcore::SimDuration;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn single_flow_uses_full_capacity() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 2_000_000.0, f64::INFINITY, t(0.0));
+        let (done, id) = link.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, FlowId(1));
+        assert!((done.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_split_capacity_equally() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 1_000_000.0, f64::INFINITY, t(0.0));
+        link.start_flow(FlowId(2), 1_000_000.0, f64::INFINITY, t(0.0));
+        assert_eq!(link.current_rate(FlowId(1)), Some(500_000.0));
+        assert_eq!(link.current_rate(FlowId(2)), Some(500_000.0));
+        let (done, _) = link.next_completion(t(0.0)).unwrap();
+        assert!((done.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_flow_leaves_capacity_to_others() {
+        let mut link = FluidLink::new(1_000_000.0);
+        // A slow client capped at 100 KB/s and a fast one uncapped.
+        link.start_flow(FlowId(1), 100_000.0, 100_000.0, t(0.0));
+        link.start_flow(FlowId(2), 900_000.0, f64::INFINITY, t(0.0));
+        assert!((link.current_rate(FlowId(1)).unwrap() - 100_000.0).abs() < 1e-6);
+        assert!((link.current_rate(FlowId(2)).unwrap() - 900_000.0).abs() < 1e-6);
+        // Both finish at t = 1s.
+        let (done, _) = link.next_completion(t(0.0)).unwrap();
+        assert!((done.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_is_work_conserving() {
+        let mut link = FluidLink::new(1_000_000.0);
+        for i in 0..10 {
+            link.start_flow(FlowId(i), 1_000_000.0, 500_000.0, t(0.0));
+        }
+        let total: f64 = (0..10)
+            .map(|i| link.current_rate(FlowId(i)).unwrap())
+            .sum();
+        // 10 flows capped at 0.5 MB/s could use 5 MB/s but the link only has
+        // 1 MB/s: the allocation must fill the link exactly.
+        assert!((total - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn departure_speeds_up_remaining_flows() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 500_000.0, f64::INFINITY, t(0.0));
+        link.start_flow(FlowId(2), 2_000_000.0, f64::INFINITY, t(0.0));
+        // Flow 1 completes at t=1s (500KB at 500KB/s).
+        let (done1, id1) = link.next_completion(t(0.0)).unwrap();
+        assert_eq!(id1, FlowId(1));
+        assert!((done1.as_secs_f64() - 1.0).abs() < 1e-9);
+        let leftover = link.finish_flow(FlowId(1), done1).unwrap();
+        assert!(leftover.abs() < 1e-6);
+        // Flow 2 transferred 500KB so far, 1.5MB left now at full rate.
+        assert!((link.remaining_bytes(FlowId(2)).unwrap() - 1_500_000.0).abs() < 1.0);
+        let (done2, id2) = link.next_completion(done1).unwrap();
+        assert_eq!(id2, FlowId(2));
+        assert!((done2.as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_flow() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 1_000_000.0, f64::INFINITY, t(0.0));
+        // Half way through, a second flow arrives.
+        link.start_flow(FlowId(2), 1_000_000.0, f64::INFINITY, t(0.5));
+        assert!((link.remaining_bytes(FlowId(1)).unwrap() - 500_000.0).abs() < 1.0);
+        let (done1, id1) = link.next_completion(t(0.5)).unwrap();
+        assert_eq!(id1, FlowId(1));
+        // 500KB left at 500KB/s -> finishes at t = 1.5s.
+        assert!((done1.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut link = FluidLink::new(1_000.0);
+        link.start_flow(FlowId(7), 0.0, f64::INFINITY, t(1.0));
+        let (done, id) = link.next_completion(t(1.0)).unwrap();
+        assert_eq!(id, FlowId(7));
+        assert_eq!(done, t(1.0));
+    }
+
+    #[test]
+    fn bytes_transferred_accumulates() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 250_000.0, f64::INFINITY, t(0.0));
+        link.advance(t(10.0));
+        assert!((link.bytes_transferred() - 250_000.0).abs() < 1e-6);
+        link.finish_flow(FlowId(1), t(10.0));
+        assert_eq!(link.active_flows(), 0);
+    }
+
+    #[test]
+    fn next_completion_none_when_empty() {
+        let mut link = FluidLink::new(1_000.0);
+        assert!(link.next_completion(t(0.0)).is_none());
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let mut link = FluidLink::new(1_000.0);
+        link.start_flow(FlowId(1), 10_000.0, f64::INFINITY, t(5.0));
+        // Going "backwards" in time is a no-op, not a panic.
+        link.advance(t(1.0));
+        assert!((link.remaining_bytes(FlowId(1)).unwrap() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_flow_id_panics() {
+        let mut link = FluidLink::new(1_000.0);
+        link.start_flow(FlowId(1), 10.0, f64::INFINITY, t(0.0));
+        link.start_flow(FlowId(1), 10.0, f64::INFINITY, t(0.0));
+    }
+
+    #[test]
+    fn utilization_reports_aggregate_rate() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 1_000_000.0, 200_000.0, t(0.0));
+        assert!((link.utilization_bytes_per_sec() - 200_000.0).abs() < 1e-6);
+        link.start_flow(FlowId(2), 1_000_000.0, f64::INFINITY, t(0.0));
+        assert!((link.utilization_bytes_per_sec() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_survives_many_flows() {
+        let mut link = FluidLink::new(10_000_000.0);
+        let n = 200;
+        for i in 0..n {
+            link.start_flow(FlowId(i), 100_000.0, f64::INFINITY, t(0.0));
+        }
+        // All flows equal: each gets capacity/n, finishing together.
+        let expect = 100_000.0 / (10_000_000.0 / n as f64);
+        let (done, _) = link.next_completion(t(0.0)).unwrap();
+        assert!((done.as_secs_f64() - expect).abs() < 1e-9);
+        let _ = SimDuration::ZERO;
+    }
+}

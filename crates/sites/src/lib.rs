@@ -1,0 +1,30 @@
+//! Synthetic server populations and cooperating-site configurations for the
+//! MFC evaluation.
+//!
+//! The paper's evaluation runs against machines we cannot reach: a top-50
+//! commercial site (QTNP/QTP), three university servers, ~400 Quantcast-
+//! ranked sites, ~100 startup sites and ~90 phishing sites.  This crate
+//! replaces them with *generative models*:
+//!
+//! * [`coop`] — hand-tuned [`SimTargetSpec`](mfc_core::backend::sim::SimTargetSpec)s
+//!   for the named cooperating sites of §4 (QTNP, QTP, Univ-1/2/3), each
+//!   calibrated so the MFC reproduces the qualitative result reported in
+//!   Tables 1–3 (which stage stops, roughly where, and what the operators
+//!   confirmed);
+//! * [`population`] — rank-class distributions over provisioning parameters
+//!   (CPU, worker limits, access bandwidth, database quality, handler
+//!   architecture) from which the §5 site populations are drawn;
+//! * [`survey`] — the §5 measurement harness: run one MFC stage against
+//!   every site in a generated population and bucket the stopping crowd
+//!   sizes the way Figures 7–9 and Tables 4–5 do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coop;
+pub mod population;
+pub mod survey;
+
+pub use coop::CoopSite;
+pub use population::SiteClass;
+pub use survey::{StoppingBucket, SurveyConfig, SurveyResult};

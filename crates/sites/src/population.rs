@@ -1,0 +1,383 @@
+//! Generative models of server populations by site class.
+//!
+//! §5 of the paper measures several hundred Web servers grouped by their
+//! Quantcast rank (1–1K, 1K–10K, 10K–100K, 100K–1M), plus ~100 startup
+//! sites and ~90 phishing sites, and reports how the stopping crowd sizes
+//! distribute within each group.  We obviously cannot probe those servers;
+//! instead each class is modelled as a distribution over provisioning
+//! parameters — front-end CPU cost per request, worker limits, access
+//! bandwidth, database quality, dynamic-handler architecture, replica
+//! counts — with more popular classes drawing from better-provisioned
+//! ranges.  The *shape* results of §5 (popularity correlates strongly with
+//! Base/Small-Query capacity, bandwidth correlates less, phishing sites
+//! look like low-rank sites) then emerge from the model rather than being
+//! hard-coded.
+
+use mfc_core::backend::sim::SimTargetSpec;
+use mfc_simcore::SimRng;
+use mfc_simnet::mbps;
+use mfc_webserver::{
+    BackgroundTraffic, ContentCatalog, DatabaseConfig, DynamicHandler, HardwareSpec,
+    ObjectCacheConfig, ServerConfig, WorkerConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// The site classes studied in §5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteClass {
+    /// Quantcast rank 1–1 000.
+    Top1K,
+    /// Quantcast rank 1 000–10 000.
+    Rank1KTo10K,
+    /// Quantcast rank 10 000–100 000.
+    Rank10KTo100K,
+    /// Quantcast rank 100 000–1 000 000.
+    Rank100KTo1M,
+    /// Recently launched startup sites (often on commodity hosting).
+    Startup,
+    /// Phishing sites (typically compromised or cheap low-end hosts).
+    Phishing,
+}
+
+impl SiteClass {
+    /// The four rank classes, most popular first.
+    pub const RANKS: [SiteClass; 4] = [
+        SiteClass::Top1K,
+        SiteClass::Rank1KTo10K,
+        SiteClass::Rank10KTo100K,
+        SiteClass::Rank100KTo1M,
+    ];
+
+    /// Label used in figures and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteClass::Top1K => "1-1K",
+            SiteClass::Rank1KTo10K => "1K-10K",
+            SiteClass::Rank10KTo100K => "10K-100K",
+            SiteClass::Rank100KTo1M => "100K-1M",
+            SiteClass::Startup => "startup",
+            SiteClass::Phishing => "phishing",
+        }
+    }
+
+    /// Number of servers the paper measured in this class for the Base
+    /// stage (used as the default population size in the reproduction).
+    pub fn paper_sample_size(self) -> usize {
+        match self {
+            SiteClass::Top1K => 114,
+            SiteClass::Rank1KTo10K => 107,
+            SiteClass::Rank10KTo100K => 118,
+            SiteClass::Rank100KTo1M => 148,
+            SiteClass::Startup => 107,
+            SiteClass::Phishing => 89,
+        }
+    }
+
+    /// Parameters of the class's provisioning distributions.
+    fn profile(self) -> ClassProfile {
+        match self {
+            SiteClass::Top1K => ClassProfile {
+                // Professionally operated: fast front ends, large worker
+                // pools, good caching, frequently multiple replicas.
+                request_cpu_median: 0.0015,
+                request_cpu_sigma: 0.9,
+                cpu_speed: (0.9, 1.6),
+                workers: (128, 512),
+                bandwidth_mbps_median: 600.0,
+                bandwidth_sigma: 0.7,
+                db_rows_median: 15_000.0,
+                db_rows_sigma: 0.8,
+                query_cache_probability: 0.85,
+                fork_handler_probability: 0.10,
+                replica_choices: &[(1, 0.3), (4, 0.4), (16, 0.3)],
+                background_rate: (2.0, 20.0),
+            },
+            SiteClass::Rank1KTo10K => ClassProfile {
+                request_cpu_median: 0.0025,
+                request_cpu_sigma: 1.0,
+                cpu_speed: (0.7, 1.4),
+                workers: (96, 384),
+                bandwidth_mbps_median: 300.0,
+                bandwidth_sigma: 0.8,
+                db_rows_median: 25_000.0,
+                db_rows_sigma: 0.9,
+                query_cache_probability: 0.7,
+                fork_handler_probability: 0.2,
+                replica_choices: &[(1, 0.55), (4, 0.35), (8, 0.10)],
+                background_rate: (1.0, 10.0),
+            },
+            SiteClass::Rank10KTo100K => ClassProfile {
+                request_cpu_median: 0.004,
+                request_cpu_sigma: 1.1,
+                cpu_speed: (0.5, 1.2),
+                workers: (64, 256),
+                bandwidth_mbps_median: 150.0,
+                bandwidth_sigma: 0.9,
+                db_rows_median: 40_000.0,
+                db_rows_sigma: 0.9,
+                query_cache_probability: 0.5,
+                fork_handler_probability: 0.35,
+                replica_choices: &[(1, 0.8), (2, 0.15), (4, 0.05)],
+                background_rate: (0.5, 6.0),
+            },
+            SiteClass::Rank100KTo1M => ClassProfile {
+                request_cpu_median: 0.007,
+                request_cpu_sigma: 1.2,
+                cpu_speed: (0.35, 1.0),
+                workers: (32, 192),
+                // Bandwidth is the one dimension the paper finds only weakly
+                // correlated with rank: keep the median close to the class
+                // above so many low-rank sites still have decent links.
+                bandwidth_mbps_median: 120.0,
+                bandwidth_sigma: 1.0,
+                db_rows_median: 60_000.0,
+                db_rows_sigma: 1.0,
+                query_cache_probability: 0.35,
+                fork_handler_probability: 0.5,
+                replica_choices: &[(1, 0.95), (2, 0.05)],
+                background_rate: (0.1, 3.0),
+            },
+            SiteClass::Startup => ClassProfile {
+                // Mostly hosted at commercial providers: decent bandwidth
+                // and front ends, but brand-new application code with
+                // uneven back-end quality.
+                request_cpu_median: 0.003,
+                request_cpu_sigma: 1.3,
+                cpu_speed: (0.5, 1.2),
+                workers: (48, 256),
+                bandwidth_mbps_median: 250.0,
+                bandwidth_sigma: 0.8,
+                db_rows_median: 50_000.0,
+                db_rows_sigma: 1.1,
+                query_cache_probability: 0.4,
+                fork_handler_probability: 0.45,
+                replica_choices: &[(1, 0.85), (2, 0.15)],
+                background_rate: (0.05, 2.0),
+            },
+            SiteClass::Phishing => ClassProfile {
+                // Cheap shared hosting or compromised low-end boxes.
+                request_cpu_median: 0.006,
+                request_cpu_sigma: 1.2,
+                cpu_speed: (0.3, 0.9),
+                workers: (24, 128),
+                bandwidth_mbps_median: 100.0,
+                bandwidth_sigma: 1.0,
+                db_rows_median: 60_000.0,
+                db_rows_sigma: 1.0,
+                query_cache_probability: 0.3,
+                fork_handler_probability: 0.5,
+                replica_choices: &[(1, 1.0)],
+                background_rate: (0.01, 1.0),
+            },
+        }
+    }
+
+    /// Draws the configuration of one site of this class.
+    ///
+    /// `site_index` seeds the site's content catalog so that query URLs are
+    /// distinct across sites.
+    pub fn generate_site(self, site_index: u64, rng: &mut SimRng) -> SimTargetSpec {
+        let profile = self.profile();
+
+        let cpu_speed = rng.uniform(profile.cpu_speed.0, profile.cpu_speed.1);
+        let per_request_cpu = rng
+            .log_normal(profile.request_cpu_median.ln(), profile.request_cpu_sigma)
+            .clamp(0.000_2, 0.08);
+        let workers = rng.uniform_u64(profile.workers.0, profile.workers.1) as u32;
+        let bandwidth = mbps(
+            rng.log_normal(profile.bandwidth_mbps_median.ln(), profile.bandwidth_sigma)
+                .clamp(5.0, 10_000.0),
+        );
+        let db_rows = rng
+            .log_normal(profile.db_rows_median.ln(), profile.db_rows_sigma)
+            .clamp(1_000.0, 2_000_000.0) as u64;
+        let query_cache = rng.chance(profile.query_cache_probability);
+        let fork_handler = rng.chance(profile.fork_handler_probability);
+        let replicas = *rng.weighted_choice(profile.replica_choices);
+        let background_rate = rng.uniform(profile.background_rate.0, profile.background_rate.1);
+
+        let hardware = HardwareSpec {
+            cpu_cores: if replicas > 1 { 4 } else { 1 },
+            cpu_speed,
+            ram_bytes: if fork_handler {
+                1024 * 1024 * 1024
+            } else {
+                2 * 1024 * 1024 * 1024
+            },
+            ..HardwareSpec::default()
+        };
+        let dynamic_handler = if fork_handler {
+            DynamicHandler::ForkPerRequest {
+                memory_per_process: 18 * 1024 * 1024,
+                fork_cpu: 0.003,
+            }
+        } else {
+            DynamicHandler::PersistentPool {
+                pool_size: (workers / 2).max(8),
+                pool_memory: 256 * 1024 * 1024,
+            }
+        };
+        let server = ServerConfig {
+            hardware,
+            access_link: bandwidth,
+            workers: WorkerConfig {
+                max_workers: workers,
+                listen_queue: 511,
+                memory_per_worker: 4 * 1024 * 1024,
+                per_request_cpu,
+                // The base page carries a rendering cost of the same order
+                // as the per-request protocol cost; the Base stage probes
+                // the sum of the two.
+                base_page_cpu: per_request_cpu,
+            },
+            dynamic_handler,
+            database: DatabaseConfig {
+                query_cache,
+                ..DatabaseConfig::default()
+            },
+            object_cache: ObjectCacheConfig::default(),
+            ..ServerConfig::default()
+        };
+
+        let mut catalog = ContentCatalog::typical_site(site_index);
+        // Every site's queries scan a site-specific number of rows, which is
+        // what differentiates back-end quality across the population.
+        let catalog_objects: Vec<_> = catalog
+            .objects()
+            .iter()
+            .cloned()
+            .map(|mut o| {
+                if o.kind.is_dynamic() {
+                    o.db_rows = db_rows;
+                }
+                o
+            })
+            .collect();
+        catalog = ContentCatalog::new(catalog.base_page().clone(), catalog_objects);
+
+        let spec = if replicas > 1 {
+            SimTargetSpec::cluster(server, catalog, replicas)
+        } else {
+            SimTargetSpec::single_server(server, catalog)
+        };
+        spec.with_background(BackgroundTraffic::at_rate(background_rate))
+    }
+}
+
+/// Distribution parameters for one class.
+struct ClassProfile {
+    request_cpu_median: f64,
+    request_cpu_sigma: f64,
+    cpu_speed: (f64, f64),
+    workers: (u64, u64),
+    bandwidth_mbps_median: f64,
+    bandwidth_sigma: f64,
+    db_rows_median: f64,
+    db_rows_sigma: f64,
+    query_cache_probability: f64,
+    fork_handler_probability: f64,
+    replica_choices: &'static [(usize, f64)],
+    background_rate: (f64, f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of<F: Fn(&SimTargetSpec) -> f64>(class: SiteClass, n: usize, f: F) -> f64 {
+        let mut rng = SimRng::seed_from(99);
+        let total: f64 = (0..n)
+            .map(|i| f(&class.generate_site(i as u64, &mut rng)))
+            .sum();
+        total / n as f64
+    }
+
+    #[test]
+    fn labels_and_sample_sizes() {
+        assert_eq!(SiteClass::Top1K.label(), "1-1K");
+        assert_eq!(SiteClass::Rank100KTo1M.paper_sample_size(), 148);
+        assert_eq!(SiteClass::Phishing.paper_sample_size(), 89);
+        assert_eq!(SiteClass::RANKS.len(), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        let site_a = SiteClass::Startup.generate_site(3, &mut a);
+        let site_b = SiteClass::Startup.generate_site(3, &mut b);
+        assert_eq!(site_a, site_b);
+    }
+
+    #[test]
+    fn popular_sites_have_cheaper_request_processing() {
+        let cost = |spec: &SimTargetSpec| spec.server.workers.per_request_cpu;
+        let top = mean_of(SiteClass::Top1K, 60, cost);
+        let bottom = mean_of(SiteClass::Rank100KTo1M, 60, cost);
+        assert!(
+            top < bottom,
+            "top-ranked sites must process requests more cheaply ({top} vs {bottom})"
+        );
+    }
+
+    #[test]
+    fn bandwidth_is_less_rank_correlated_than_cpu() {
+        let bw = |spec: &SimTargetSpec| spec.server.access_link;
+        let cpu = |spec: &SimTargetSpec| spec.server.workers.per_request_cpu;
+        let bw_ratio =
+            mean_of(SiteClass::Top1K, 80, bw) / mean_of(SiteClass::Rank100KTo1M, 80, bw);
+        let cpu_ratio =
+            mean_of(SiteClass::Rank100KTo1M, 80, cpu) / mean_of(SiteClass::Top1K, 80, cpu);
+        // Both favour the top class, but the CPU gap must be wider than the
+        // bandwidth gap — that asymmetry is the headline of Figures 7–9.
+        assert!(bw_ratio > 1.0);
+        assert!(cpu_ratio > bw_ratio);
+    }
+
+    #[test]
+    fn phishing_sites_resemble_low_rank_sites() {
+        let cost = |spec: &SimTargetSpec| spec.server.workers.per_request_cpu;
+        let phishing = mean_of(SiteClass::Phishing, 60, cost);
+        let low_rank = mean_of(SiteClass::Rank100KTo1M, 60, cost);
+        let top = mean_of(SiteClass::Top1K, 60, cost);
+        assert!((phishing / low_rank) < 2.0 && (low_rank / phishing) < 2.0);
+        assert!(phishing > top);
+    }
+
+    #[test]
+    fn top_sites_sometimes_run_clusters_low_sites_do_not() {
+        let mut rng = SimRng::seed_from(7);
+        let top_clustered = (0..60)
+            .filter(|i| SiteClass::Top1K.generate_site(*i, &mut rng).replicas > 1)
+            .count();
+        let mut rng = SimRng::seed_from(7);
+        let phishing_clustered = (0..60)
+            .filter(|i| SiteClass::Phishing.generate_site(*i, &mut rng).replicas > 1)
+            .count();
+        assert!(top_clustered > 10);
+        assert_eq!(phishing_clustered, 0);
+    }
+
+    #[test]
+    fn generated_sites_have_probeable_content() {
+        let mut rng = SimRng::seed_from(8);
+        for class in [SiteClass::Top1K, SiteClass::Startup, SiteClass::Phishing] {
+            let spec = class.generate_site(0, &mut rng);
+            assert!(!spec.catalog.small_queries().is_empty());
+            assert!(!spec.catalog.large_objects().is_empty());
+        }
+    }
+
+    #[test]
+    fn query_work_is_copied_into_catalog() {
+        let mut rng = SimRng::seed_from(9);
+        let spec = SiteClass::Rank100KTo1M.generate_site(1, &mut rng);
+        let rows: Vec<u64> = spec
+            .catalog
+            .small_queries()
+            .iter()
+            .map(|q| q.db_rows)
+            .collect();
+        assert!(rows.iter().all(|&r| r == rows[0] && r >= 1_000));
+    }
+}

@@ -1,0 +1,300 @@
+//! Background (non-MFC) traffic generation.
+//!
+//! Every cooperating-site experiment in the paper runs against a server
+//! that is simultaneously serving its regular users: Univ-1 saw ~0.15
+//! requests/s, Univ-2 2.9–4.2 requests/s, Univ-3 12.5–20.3 requests/s, and
+//! the QTP production system handled millions of non-MFC requests during
+//! the test window (§4).  The paper observes that background load shifts
+//! the Base-stage stopping size at Univ-3 and recommends running MFCs under
+//! diverse background conditions.  [`BackgroundTraffic`] generates that
+//! competing load as a Poisson arrival process over the server's own
+//! content.
+
+use mfc_simcore::{SimDuration, SimRng, SimTime};
+use mfc_simnet::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+use crate::content::ContentCatalog;
+use crate::request::{RequestClass, ServerRequest};
+
+/// Mix of request classes in the background workload, as weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundMix {
+    /// Weight of HEAD/base-page requests.
+    pub head: f64,
+    /// Weight of small static objects (pages, images).
+    pub static_small: f64,
+    /// Weight of large static objects (downloads).
+    pub static_large: f64,
+    /// Weight of dynamic queries.
+    pub dynamic: f64,
+}
+
+impl Default for BackgroundMix {
+    fn default() -> Self {
+        // A browsing-dominated mix: mostly pages and images, some queries,
+        // occasional downloads.
+        BackgroundMix {
+            head: 0.05,
+            static_small: 0.65,
+            static_large: 0.05,
+            dynamic: 0.25,
+        }
+    }
+}
+
+/// A Poisson background-traffic source for one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundTraffic {
+    /// Mean request rate in requests per second.
+    pub rate_per_sec: f64,
+    /// Request-class mix.
+    pub mix: BackgroundMix,
+    /// Downlink bandwidth assumed for background clients (bytes/s).
+    pub client_downlink: Bandwidth,
+    /// RTT assumed for background clients.
+    pub client_rtt: SimDuration,
+}
+
+impl BackgroundTraffic {
+    /// No background traffic at all (the "raw infrastructure" mode the
+    /// paper offers cooperating operators).
+    pub fn idle() -> Self {
+        BackgroundTraffic {
+            rate_per_sec: 0.0,
+            mix: BackgroundMix::default(),
+            client_downlink: 2_000_000.0,
+            client_rtt: SimDuration::from_millis(60),
+        }
+    }
+
+    /// Background traffic at the given request rate with the default mix.
+    pub fn at_rate(rate_per_sec: f64) -> Self {
+        BackgroundTraffic {
+            rate_per_sec,
+            ..BackgroundTraffic::idle()
+        }
+    }
+
+    /// Generates the background arrivals falling inside `[start, end)`.
+    ///
+    /// Request ids start at `id_base` so callers can keep them disjoint
+    /// from MFC request ids.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mfc_simcore::{SimDuration, SimRng, SimTime};
+    /// use mfc_webserver::{BackgroundTraffic, ContentCatalog};
+    ///
+    /// let catalog = ContentCatalog::typical_site(1);
+    /// let bg = BackgroundTraffic::at_rate(5.0);
+    /// let mut rng = SimRng::seed_from(9);
+    /// let arrivals = bg.generate(
+    ///     &catalog,
+    ///     SimTime::ZERO,
+    ///     SimTime::ZERO + SimDuration::from_secs(60),
+    ///     1_000_000,
+    ///     &mut rng,
+    /// );
+    /// // ~300 requests expected over a minute at 5 req/s.
+    /// assert!(arrivals.len() > 200 && arrivals.len() < 400);
+    /// assert!(arrivals.iter().all(|r| r.background));
+    /// ```
+    pub fn generate(
+        &self,
+        catalog: &ContentCatalog,
+        start: SimTime,
+        end: SimTime,
+        id_base: u64,
+        rng: &mut SimRng,
+    ) -> Vec<ServerRequest> {
+        let mut requests = Vec::new();
+        if self.rate_per_sec <= 0.0 || end <= start {
+            return requests;
+        }
+        let mean_gap = 1.0 / self.rate_per_sec;
+        let mut t = start;
+        let mut id = id_base;
+        loop {
+            let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap));
+            // An exponential draw of exactly zero would stall the loop; the
+            // distribution makes this vanishingly rare but guard anyway.
+            let gap = gap.max(SimDuration::from_micros(1));
+            t = t + gap;
+            if t >= end {
+                break;
+            }
+            requests.push(self.sample_request(catalog, t, id, rng));
+            id += 1;
+        }
+        requests
+    }
+
+    fn sample_request(
+        &self,
+        catalog: &ContentCatalog,
+        arrival: SimTime,
+        id: u64,
+        rng: &mut SimRng,
+    ) -> ServerRequest {
+        // Weighted selection over the four mix entries; fall back to HEAD
+        // requests if the caller zeroed every weight.
+        let weights: [(usize, f64); 4] = [
+            (0, self.mix.head),
+            (1, self.mix.static_small),
+            (2, self.mix.static_large),
+            (3, self.mix.dynamic),
+        ];
+        let slot = if weights.iter().all(|(_, w)| *w <= 0.0) {
+            0
+        } else {
+            *rng.weighted_choice(&weights)
+        };
+        let (class, path) = match slot {
+            0 => (RequestClass::Head, catalog.base_page().path.clone()),
+            1 => {
+                let small: Vec<&crate::content::ObjectSpec> = catalog
+                    .objects()
+                    .iter()
+                    .filter(|o| !o.kind.is_dynamic() && !o.is_large_object())
+                    .collect();
+                if small.is_empty() {
+                    (RequestClass::Head, catalog.base_page().path.clone())
+                } else {
+                    let idx = rng.index(small.len());
+                    (RequestClass::Static, small[idx].path.clone())
+                }
+            }
+            2 => {
+                let large = catalog.large_objects();
+                if large.is_empty() {
+                    (RequestClass::Head, catalog.base_page().path.clone())
+                } else {
+                    let idx = rng.index(large.len());
+                    (RequestClass::Static, large[idx].path.clone())
+                }
+            }
+            _ => {
+                let queries = catalog.small_queries();
+                if queries.is_empty() {
+                    (RequestClass::Head, catalog.base_page().path.clone())
+                } else {
+                    let idx = rng.index(queries.len());
+                    (RequestClass::Dynamic, queries[idx].path.clone())
+                }
+            }
+        };
+        ServerRequest {
+            id,
+            arrival,
+            class,
+            path,
+            client_downlink: self.client_downlink,
+            client_rtt: self.client_rtt,
+            background: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> (SimTime, SimTime) {
+        (SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(120))
+    }
+
+    #[test]
+    fn idle_generates_nothing() {
+        let catalog = ContentCatalog::typical_site(1);
+        let (start, end) = window();
+        let mut rng = SimRng::seed_from(1);
+        let arrivals = BackgroundTraffic::idle().generate(&catalog, start, end, 0, &mut rng);
+        assert!(arrivals.is_empty());
+    }
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let catalog = ContentCatalog::typical_site(1);
+        let (start, end) = window();
+        let mut rng = SimRng::seed_from(2);
+        let arrivals =
+            BackgroundTraffic::at_rate(10.0).generate(&catalog, start, end, 0, &mut rng);
+        let expected = 10.0 * 120.0;
+        let n = arrivals.len() as f64;
+        assert!((n - expected).abs() < expected * 0.2, "got {n} arrivals");
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_inside_window() {
+        let catalog = ContentCatalog::typical_site(1);
+        let (start, end) = window();
+        let mut rng = SimRng::seed_from(3);
+        let arrivals = BackgroundTraffic::at_rate(4.2).generate(&catalog, start, end, 0, &mut rng);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        assert!(arrivals.iter().all(|r| r.arrival >= start && r.arrival < end));
+    }
+
+    #[test]
+    fn ids_start_at_base_and_are_unique() {
+        let catalog = ContentCatalog::typical_site(1);
+        let (start, end) = window();
+        let mut rng = SimRng::seed_from(4);
+        let arrivals =
+            BackgroundTraffic::at_rate(5.0).generate(&catalog, start, end, 7_000, &mut rng);
+        assert!(arrivals.iter().all(|r| r.id >= 7_000));
+        let mut ids: Vec<u64> = arrivals.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), arrivals.len());
+    }
+
+    #[test]
+    fn paths_exist_in_catalog() {
+        let catalog = ContentCatalog::typical_site(1);
+        let (start, end) = window();
+        let mut rng = SimRng::seed_from(5);
+        let arrivals =
+            BackgroundTraffic::at_rate(8.0).generate(&catalog, start, end, 0, &mut rng);
+        for r in &arrivals {
+            assert!(
+                catalog.lookup(&r.path).is_some(),
+                "background request for unknown path {}",
+                r.path
+            );
+        }
+    }
+
+    #[test]
+    fn mix_produces_multiple_classes() {
+        let catalog = ContentCatalog::typical_site(1);
+        let (start, end) = window();
+        let mut rng = SimRng::seed_from(6);
+        let arrivals =
+            BackgroundTraffic::at_rate(20.0).generate(&catalog, start, end, 0, &mut rng);
+        let dynamic = arrivals
+            .iter()
+            .filter(|r| r.class == RequestClass::Dynamic)
+            .count();
+        let static_reqs = arrivals
+            .iter()
+            .filter(|r| r.class == RequestClass::Static)
+            .count();
+        assert!(dynamic > 0);
+        assert!(static_reqs > 0);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let catalog = ContentCatalog::typical_site(1);
+        let (start, end) = window();
+        let mut rng_a = SimRng::seed_from(7);
+        let mut rng_b = SimRng::seed_from(7);
+        let a = BackgroundTraffic::at_rate(3.0).generate(&catalog, start, end, 0, &mut rng_a);
+        let b = BackgroundTraffic::at_rate(3.0).generate(&catalog, start, end, 0, &mut rng_b);
+        assert_eq!(a, b);
+    }
+}

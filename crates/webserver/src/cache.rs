@@ -1,0 +1,224 @@
+//! Server-side caches: the static-object cache and the database query cache.
+//!
+//! Caching is central to two of the paper's observations.  In the Large
+//! Object stage all clients fetch the *same* object precisely so that "the
+//! likely caching of the object reduces the chance that the server's storage
+//! sub-system is exercised" (§2.2.2).  In the Small Query stage, whether
+//! repeated identical queries hit a query cache decides how hard the
+//! back-end is exercised — Univ-3's operators traced their poor Small Query
+//! results to a legacy stack that "was not caching responses appropriately"
+//! (§4.2).
+//!
+//! [`CacheState`] lives *outside* the per-window engine so that cache warmth
+//! carries across MFC epochs, exactly as it would on a real server.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatabaseConfig, ObjectCacheConfig};
+
+/// Persistent cache contents of one server instance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheState {
+    /// Paths of static objects currently held in the in-memory object
+    /// cache, with their sizes.
+    object_cache: HashMap<String, u64>,
+    /// Bytes used by the object cache.
+    object_bytes: u64,
+    /// Keys (paths) present in the database query cache.
+    query_cache: HashSet<String>,
+    object_hits: u64,
+    object_misses: u64,
+    query_hits: u64,
+    query_misses: u64,
+}
+
+impl CacheState {
+    /// Creates empty (cold) caches.
+    pub fn new() -> Self {
+        CacheState::default()
+    }
+
+    /// Looks up a static object; records a hit or miss.
+    pub fn object_lookup(&mut self, path: &str, config: &ObjectCacheConfig) -> bool {
+        if !config.enabled {
+            self.object_misses += 1;
+            return false;
+        }
+        if self.object_cache.contains_key(path) {
+            self.object_hits += 1;
+            true
+        } else {
+            self.object_misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a static object after it has been read from disk, if it fits
+    /// in the remaining cache capacity.  (No eviction: the MFC workloads
+    /// touch a handful of distinct objects, far below any realistic cache
+    /// size, so an eviction policy would never be exercised.)
+    pub fn object_insert(&mut self, path: &str, size: u64, config: &ObjectCacheConfig) {
+        if !config.enabled || self.object_cache.contains_key(path) {
+            return;
+        }
+        if self.object_bytes + size <= config.capacity_bytes {
+            self.object_cache.insert(path.to_string(), size);
+            self.object_bytes += size;
+        }
+    }
+
+    /// Looks up a dynamic query in the query cache; records a hit or miss.
+    ///
+    /// `cacheable` is false for queries the application marks uncacheable;
+    /// those always miss and are not inserted.
+    pub fn query_lookup(&mut self, key: &str, cacheable: bool, config: &DatabaseConfig) -> bool {
+        if !config.query_cache || !cacheable {
+            self.query_misses += 1;
+            return false;
+        }
+        if self.query_cache.contains(key) {
+            self.query_hits += 1;
+            true
+        } else {
+            self.query_misses += 1;
+            false
+        }
+    }
+
+    /// Records that a query's result is now cached.
+    pub fn query_insert(&mut self, key: &str, cacheable: bool, config: &DatabaseConfig) {
+        if config.query_cache && cacheable {
+            self.query_cache.insert(key.to_string());
+        }
+    }
+
+    /// Bytes currently held by the object cache.
+    pub fn object_cache_bytes(&self) -> u64 {
+        self.object_bytes
+    }
+
+    /// Number of distinct cached query keys.
+    pub fn query_cache_entries(&self) -> usize {
+        self.query_cache.len()
+    }
+
+    /// (hits, misses) for the object cache.
+    pub fn object_stats(&self) -> (u64, u64) {
+        (self.object_hits, self.object_misses)
+    }
+
+    /// (hits, misses) for the query cache.
+    pub fn query_stats(&self) -> (u64, u64) {
+        (self.query_hits, self.query_misses)
+    }
+
+    /// Drops all cached content but keeps the hit/miss counters.
+    pub fn invalidate(&mut self) {
+        self.object_cache.clear();
+        self.object_bytes = 0;
+        self.query_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj_cfg(enabled: bool, capacity: u64) -> ObjectCacheConfig {
+        ObjectCacheConfig {
+            enabled,
+            capacity_bytes: capacity,
+        }
+    }
+
+    fn db_cfg(query_cache: bool) -> DatabaseConfig {
+        DatabaseConfig {
+            query_cache,
+            ..DatabaseConfig::default()
+        }
+    }
+
+    #[test]
+    fn object_cache_miss_then_hit() {
+        let mut cache = CacheState::new();
+        let cfg = obj_cfg(true, 1_000_000);
+        assert!(!cache.object_lookup("/a", &cfg));
+        cache.object_insert("/a", 500, &cfg);
+        assert!(cache.object_lookup("/a", &cfg));
+        assert_eq!(cache.object_stats(), (1, 1));
+        assert_eq!(cache.object_cache_bytes(), 500);
+    }
+
+    #[test]
+    fn object_cache_respects_capacity() {
+        let mut cache = CacheState::new();
+        let cfg = obj_cfg(true, 1_000);
+        cache.object_insert("/big", 900, &cfg);
+        cache.object_insert("/too-big", 200, &cfg);
+        assert!(cache.object_lookup("/big", &cfg));
+        assert!(!cache.object_lookup("/too-big", &cfg));
+        assert_eq!(cache.object_cache_bytes(), 900);
+    }
+
+    #[test]
+    fn disabled_object_cache_never_hits() {
+        let mut cache = CacheState::new();
+        let cfg = obj_cfg(false, 1_000_000);
+        cache.object_insert("/a", 10, &cfg);
+        assert!(!cache.object_lookup("/a", &cfg));
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_double_count() {
+        let mut cache = CacheState::new();
+        let cfg = obj_cfg(true, 1_000);
+        cache.object_insert("/a", 400, &cfg);
+        cache.object_insert("/a", 400, &cfg);
+        assert_eq!(cache.object_cache_bytes(), 400);
+    }
+
+    #[test]
+    fn query_cache_behaviour() {
+        let mut cache = CacheState::new();
+        let cfg = db_cfg(true);
+        assert!(!cache.query_lookup("/q?x=1", true, &cfg));
+        cache.query_insert("/q?x=1", true, &cfg);
+        assert!(cache.query_lookup("/q?x=1", true, &cfg));
+        assert_eq!(cache.query_cache_entries(), 1);
+        assert_eq!(cache.query_stats(), (1, 1));
+    }
+
+    #[test]
+    fn uncacheable_queries_always_miss() {
+        let mut cache = CacheState::new();
+        let cfg = db_cfg(true);
+        cache.query_insert("/q?x=2", false, &cfg);
+        assert!(!cache.query_lookup("/q?x=2", false, &cfg));
+        assert_eq!(cache.query_cache_entries(), 0);
+    }
+
+    #[test]
+    fn disabled_query_cache_always_misses() {
+        let mut cache = CacheState::new();
+        let cfg = db_cfg(false);
+        cache.query_insert("/q?x=3", true, &cfg);
+        assert!(!cache.query_lookup("/q?x=3", true, &cfg));
+    }
+
+    #[test]
+    fn invalidate_clears_contents_but_not_counters() {
+        let mut cache = CacheState::new();
+        let ocfg = obj_cfg(true, 1_000);
+        let dcfg = db_cfg(true);
+        cache.object_insert("/a", 10, &ocfg);
+        cache.query_insert("/q", true, &dcfg);
+        cache.object_lookup("/a", &ocfg);
+        cache.invalidate();
+        assert_eq!(cache.object_cache_bytes(), 0);
+        assert_eq!(cache.query_cache_entries(), 0);
+        assert_eq!(cache.object_stats().0, 1);
+        assert!(!cache.object_lookup("/a", &ocfg));
+    }
+}

@@ -1,0 +1,310 @@
+//! Load-balanced server clusters.
+//!
+//! The production QTP system the authors tested routes all requests for one
+//! IP address to "a specific data center which houses 16 multiprocessor
+//! servers in a load-balanced configuration" (§4.1).  The MFC saw no
+//! response-time impact even with 375 simultaneous requests because the
+//! load spread across those replicas.  [`ServerCluster`] reproduces that
+//! arrangement: a front-end balancer distributes arrivals over `n`
+//! identical [`ServerEngine`]s, each with its own caches, and merges the
+//! results.
+
+use mfc_simcore::SimDuration;
+
+use crate::cache::CacheState;
+use crate::config::ServerConfig;
+use crate::content::ContentCatalog;
+use crate::engine::{RunResult, ServerEngine};
+use crate::request::ServerRequest;
+use crate::telemetry::UtilizationReport;
+
+/// How the balancer assigns requests to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Strict rotation over the replicas in arrival order.
+    RoundRobin,
+    /// Assignment by a stable hash of the request id (models flow-hash /
+    /// source-hash balancers; keeps a client's retries on one replica).
+    HashById,
+}
+
+/// A load-balanced group of identical servers.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_webserver::{ContentCatalog, ServerCluster, ServerConfig};
+///
+/// let cluster = ServerCluster::new(
+///     ServerConfig::commercial_frontend(),
+///     ContentCatalog::typical_site(3),
+///     16,
+/// );
+/// assert_eq!(cluster.replicas(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerCluster {
+    engine: ServerEngine,
+    replicas: usize,
+    policy: BalancePolicy,
+    caches: Vec<CacheState>,
+}
+
+impl ServerCluster {
+    /// Creates a cluster of `replicas` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(config: ServerConfig, catalog: ContentCatalog, replicas: usize) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        ServerCluster {
+            engine: ServerEngine::new(config, catalog),
+            replicas,
+            policy: BalancePolicy::RoundRobin,
+            caches: vec![CacheState::new(); replicas],
+        }
+    }
+
+    /// Selects the balancing policy (round robin by default).
+    pub fn with_policy(mut self, policy: BalancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of replicas behind the balancer.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The per-replica cache states (useful for inspecting warmth).
+    pub fn caches(&self) -> &[CacheState] {
+        &self.caches
+    }
+
+    /// Processes one batch of requests, spreading them over the replicas,
+    /// and returns the merged result.
+    ///
+    /// Outcomes are returned in the order requests were submitted, exactly
+    /// like [`ServerEngine::run`].  The utilization report aggregates the
+    /// replicas: CPU utilization and worker occupancy are averaged, byte and
+    /// operation counters are summed, and peak memory is the maximum of any
+    /// single replica (that is the machine that would start swapping first).
+    pub fn run(&mut self, requests: Vec<ServerRequest>) -> RunResult {
+        let replica_count = self.replicas;
+        let mut per_replica: Vec<Vec<ServerRequest>> = vec![Vec::new(); replica_count];
+        let mut placement: Vec<(usize, usize)> = Vec::with_capacity(requests.len());
+        for (submit_idx, req) in requests.into_iter().enumerate() {
+            let replica = match self.policy {
+                BalancePolicy::RoundRobin => submit_idx % replica_count,
+                BalancePolicy::HashById => (req.id as usize) % replica_count,
+            };
+            placement.push((replica, per_replica[replica].len()));
+            per_replica[replica].push(req);
+        }
+
+        let mut replica_results: Vec<RunResult> = Vec::with_capacity(replica_count);
+        for (replica, batch) in per_replica.into_iter().enumerate() {
+            let result = self.engine.run(batch, &mut self.caches[replica]);
+            replica_results.push(result);
+        }
+
+        // Re-assemble outcomes in submission order.
+        let mut outcomes = Vec::with_capacity(placement.len());
+        for &(replica, local_idx) in &placement {
+            outcomes.push(replica_results[replica].outcomes[local_idx].clone());
+        }
+
+        let mut arrival_log = Vec::new();
+        for result in &replica_results {
+            arrival_log.extend(result.arrival_log.iter().cloned());
+        }
+        arrival_log.sort_by_key(|r| (r.arrival, r.id));
+
+        let window = replica_results
+            .iter()
+            .map(|r| r.utilization.window)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let n = replica_results.len() as f64;
+        let utilization = UtilizationReport {
+            window,
+            cpu_utilization: replica_results
+                .iter()
+                .map(|r| r.utilization.cpu_utilization)
+                .sum::<f64>()
+                / n,
+            peak_memory_bytes: replica_results
+                .iter()
+                .map(|r| r.utilization.peak_memory_bytes)
+                .max()
+                .unwrap_or(0),
+            mean_memory_bytes: replica_results
+                .iter()
+                .map(|r| r.utilization.mean_memory_bytes)
+                .sum::<f64>()
+                / n,
+            network_bytes_sent: replica_results
+                .iter()
+                .map(|r| r.utilization.network_bytes_sent)
+                .sum(),
+            disk_operations: replica_results
+                .iter()
+                .map(|r| r.utilization.disk_operations)
+                .sum(),
+            mean_busy_workers: replica_results
+                .iter()
+                .map(|r| r.utilization.mean_busy_workers)
+                .sum::<f64>()
+                / n,
+            peak_busy_workers: replica_results
+                .iter()
+                .map(|r| r.utilization.peak_busy_workers)
+                .max()
+                .unwrap_or(0),
+            refused_requests: replica_results
+                .iter()
+                .map(|r| r.utilization.refused_requests)
+                .sum(),
+            completed_requests: replica_results
+                .iter()
+                .map(|r| r.utilization.completed_requests)
+                .sum(),
+        };
+
+        RunResult {
+            outcomes,
+            utilization,
+            arrival_log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestClass, RequestStatus};
+    use mfc_simcore::SimTime;
+
+    fn head(id: u64) -> ServerRequest {
+        ServerRequest {
+            id,
+            arrival: SimTime::ZERO,
+            class: RequestClass::Head,
+            path: "/index.html".to_string(),
+            client_downlink: 1e7,
+            client_rtt: SimDuration::from_millis(40),
+            background: false,
+        }
+    }
+
+    fn query(id: u64, path: &str) -> ServerRequest {
+        ServerRequest {
+            id,
+            arrival: SimTime::ZERO,
+            class: RequestClass::Dynamic,
+            path: path.to_string(),
+            client_downlink: 1e7,
+            client_rtt: SimDuration::from_millis(40),
+            background: false,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _ = ServerCluster::new(
+            ServerConfig::lab_apache(),
+            ContentCatalog::lab_validation(),
+            0,
+        );
+    }
+
+    #[test]
+    fn outcomes_keep_submission_order() {
+        let mut cluster = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            4,
+        );
+        let requests: Vec<ServerRequest> = (0..20).map(head).collect();
+        let result = cluster.run(requests);
+        let ids: Vec<u64> = result.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+        assert!(result.outcomes.iter().all(|o| o.status == RequestStatus::Ok));
+    }
+
+    #[test]
+    fn cluster_absorbs_load_better_than_single_server() {
+        let config = ServerConfig::lab_apache();
+        let catalog = ContentCatalog::lab_validation();
+        let requests: Vec<ServerRequest> =
+            (0..64).map(|i| query(i, "/cgi/stats?table=t1")).collect();
+
+        let mut single = ServerCluster::new(config.clone(), catalog.clone(), 1);
+        let single_result = single.run(requests.clone());
+        let mut cluster = ServerCluster::new(config, catalog, 16);
+        let cluster_result = cluster.run(requests);
+
+        let worst_single = single_result
+            .outcomes
+            .iter()
+            .map(|o| o.latency())
+            .max()
+            .unwrap();
+        let worst_cluster = cluster_result
+            .outcomes
+            .iter()
+            .map(|o| o.latency())
+            .max()
+            .unwrap();
+        assert!(
+            worst_cluster < worst_single,
+            "16 replicas must beat 1: {worst_cluster} vs {worst_single}"
+        );
+    }
+
+    #[test]
+    fn arrival_log_covers_all_requests() {
+        let mut cluster = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            3,
+        );
+        let result = cluster.run((0..9).map(head).collect());
+        assert_eq!(result.arrival_log.len(), 9);
+    }
+
+    #[test]
+    fn hash_policy_is_deterministic_per_id() {
+        let mut a = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            4,
+        )
+        .with_policy(BalancePolicy::HashById);
+        let mut b = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            4,
+        )
+        .with_policy(BalancePolicy::HashById);
+        let ra = a.run((0..16).map(head).collect());
+        let rb = b.run((0..16).map(head).collect());
+        let la: Vec<_> = ra.outcomes.iter().map(|o| o.completion).collect();
+        let lb: Vec<_> = rb.outcomes.iter().map(|o| o.completion).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn utilization_counters_are_aggregated() {
+        let mut cluster = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            2,
+        );
+        let result = cluster.run((0..10).map(head).collect());
+        assert_eq!(result.utilization.completed_requests, 10);
+        assert_eq!(result.utilization.refused_requests, 0);
+    }
+}

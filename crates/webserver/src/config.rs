@@ -1,0 +1,398 @@
+//! Configuration of a simulated server's hardware and software stack.
+//!
+//! Each knob corresponds to a provisioning decision the paper's MFC
+//! inferences are meant to inform: access-link bandwidth, worker/thread
+//! limits, CPU and memory capacity, the dynamic-content handler
+//! architecture (FastCGI fork-per-request vs. a persistent handler pool,
+//! §3.2) and database/query-cache behaviour.  Presets reproduce the specific
+//! configurations that appear in the paper's evaluation: the lab Apache box,
+//! the well-provisioned commercial QTNP/QTP systems, the three university
+//! servers and the rank-class populations of §5.
+
+use mfc_simcore::SimDuration;
+use mfc_simnet::{mbps, Bandwidth, TcpModel};
+use serde::{Deserialize, Serialize};
+
+/// Physical machine characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Number of CPU cores.
+    pub cpu_cores: u32,
+    /// Relative single-core speed; 1.0 is the paper's 3 GHz Pentium 4 lab
+    /// machine, smaller is slower.
+    pub cpu_speed: f64,
+    /// Installed RAM in bytes.
+    pub ram_bytes: u64,
+    /// Sequential disk read bandwidth in bytes per second.
+    pub disk_bandwidth: Bandwidth,
+    /// Per-disk-operation seek/rotation overhead.
+    pub disk_seek: SimDuration,
+}
+
+impl Default for HardwareSpec {
+    fn default() -> Self {
+        // The paper's lab target: 3 GHz Pentium-4, 1 GB RAM, a single
+        // commodity disk.
+        HardwareSpec {
+            cpu_cores: 1,
+            cpu_speed: 1.0,
+            ram_bytes: 1024 * 1024 * 1024,
+            disk_bandwidth: 60.0 * 1024.0 * 1024.0,
+            disk_seek: SimDuration::from_millis(8),
+        }
+    }
+}
+
+impl HardwareSpec {
+    /// A multi-core, RAM-rich machine of the kind found in a commercial
+    /// data centre circa 2007.
+    pub fn datacenter_class() -> Self {
+        HardwareSpec {
+            cpu_cores: 8,
+            cpu_speed: 1.2,
+            ram_bytes: 16 * 1024 * 1024 * 1024,
+            disk_bandwidth: 200.0 * 1024.0 * 1024.0,
+            disk_seek: SimDuration::from_millis(4),
+        }
+    }
+
+    /// A low-end shared-hosting style machine.
+    pub fn low_end() -> Self {
+        HardwareSpec {
+            cpu_cores: 1,
+            cpu_speed: 0.5,
+            ram_bytes: 512 * 1024 * 1024,
+            disk_bandwidth: 30.0 * 1024.0 * 1024.0,
+            disk_seek: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Worker-pool (thread/process) configuration of the HTTP front end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerConfig {
+    /// Maximum simultaneously served requests (Apache `MaxClients`-style
+    /// limit).  Requests beyond this wait in the listen queue.
+    pub max_workers: u32,
+    /// Maximum queued connections waiting for a worker; beyond this,
+    /// connections are refused/dropped.
+    pub listen_queue: u32,
+    /// Resident memory cost per busy worker.
+    pub memory_per_worker: u64,
+    /// CPU work (in seconds on a speed-1.0 core) to accept and parse one
+    /// request and assemble response headers.
+    pub per_request_cpu: f64,
+    /// Additional CPU work (seconds on a speed-1.0 core) to *generate* the
+    /// base page, charged to requests for it (including HEAD requests —
+    /// the server still renders the page to produce its headers).  Sites
+    /// whose front page is assembled dynamically can be surprisingly
+    /// expensive here, which is exactly the "surprising" Base-stage result
+    /// the QTNP operators saw in §4.1.
+    pub base_page_cpu: f64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            max_workers: 256,
+            listen_queue: 511,
+            memory_per_worker: 4 * 1024 * 1024,
+            per_request_cpu: 0.000_4,
+            base_page_cpu: 0.000_6,
+        }
+    }
+}
+
+/// How dynamic (query) content is executed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DynamicHandler {
+    /// FastCGI-style fork-per-request execution: every in-flight query holds
+    /// a full process image in memory (paper §3.2 footnote 1), so memory
+    /// grows linearly with the crowd and the machine eventually starts
+    /// swapping.
+    ForkPerRequest {
+        /// Resident memory of each forked handler process.
+        memory_per_process: u64,
+        /// CPU seconds (speed-1.0 core) consumed by the fork + interpreter
+        /// start-up.
+        fork_cpu: f64,
+    },
+    /// A persistent pool of handler processes (the paper's Mongrel
+    /// configuration): bounded concurrency, no per-request memory growth.
+    PersistentPool {
+        /// Number of handler processes; queries beyond this queue.
+        pool_size: u32,
+        /// Resident memory of the whole pool (charged once).
+        pool_memory: u64,
+    },
+}
+
+impl Default for DynamicHandler {
+    fn default() -> Self {
+        DynamicHandler::PersistentPool {
+            pool_size: 32,
+            pool_memory: 256 * 1024 * 1024,
+        }
+    }
+}
+
+impl DynamicHandler {
+    /// The FastCGI configuration used in the §3.2 lab experiment, where each
+    /// forked process inherits a large parent image.
+    pub fn fastcgi_lab() -> Self {
+        DynamicHandler::ForkPerRequest {
+            memory_per_process: 20 * 1024 * 1024,
+            fork_cpu: 0.004,
+        }
+    }
+
+    /// The Mongrel configuration used in the §3.2 lab experiment.
+    pub fn mongrel_lab() -> Self {
+        DynamicHandler::PersistentPool {
+            pool_size: 64,
+            pool_memory: 128 * 1024 * 1024,
+        }
+    }
+}
+
+/// Back-end database behaviour for dynamic queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseConfig {
+    /// Whether a query cache is in front of the database.
+    pub query_cache: bool,
+    /// CPU seconds (speed-1.0 core) of fixed cost per query (parsing,
+    /// optimisation, connection handling).
+    pub base_query_cpu: f64,
+    /// CPU seconds per 1 000 rows scanned.
+    pub cpu_per_1k_rows: f64,
+    /// Maximum simultaneously executing queries (connection pool size);
+    /// excess queries wait.
+    pub max_concurrent_queries: u32,
+    /// Cost of serving a query-cache hit, in CPU seconds.
+    pub cache_hit_cpu: f64,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            query_cache: true,
+            base_query_cpu: 0.002,
+            cpu_per_1k_rows: 0.000_6,
+            max_concurrent_queries: 64,
+            cache_hit_cpu: 0.000_5,
+        }
+    }
+}
+
+/// In-memory caching of static objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectCacheConfig {
+    /// Whether static responses are cached in memory after the first read.
+    pub enabled: bool,
+    /// Total bytes of memory the object cache may consume.
+    pub capacity_bytes: u64,
+}
+
+impl Default for ObjectCacheConfig {
+    fn default() -> Self {
+        ObjectCacheConfig {
+            enabled: true,
+            capacity_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Complete configuration of one simulated server instance.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_webserver::ServerConfig;
+///
+/// let lab = ServerConfig::lab_apache();
+/// assert_eq!(lab.hardware.cpu_cores, 1);
+/// assert!(lab.access_link > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Physical machine.
+    pub hardware: HardwareSpec,
+    /// Outbound access-link capacity in bytes per second.
+    pub access_link: Bandwidth,
+    /// HTTP front-end worker pool.
+    pub workers: WorkerConfig,
+    /// Dynamic-content execution model.
+    pub dynamic_handler: DynamicHandler,
+    /// Back-end database.
+    pub database: DatabaseConfig,
+    /// Static-object cache.
+    pub object_cache: ObjectCacheConfig,
+    /// TCP behaviour of the server's stack.
+    pub tcp: TcpModel,
+    /// Memory the OS and base services consume before any request arrives.
+    pub baseline_memory: u64,
+    /// Multiplier applied to CPU and disk work for every byte of memory
+    /// demand beyond physical RAM, expressed per 100% overcommit.  A value
+    /// of 8 means that running at twice the physical RAM makes every
+    /// operation 9× slower.
+    pub swap_penalty: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            hardware: HardwareSpec::default(),
+            access_link: mbps(100.0),
+            workers: WorkerConfig::default(),
+            dynamic_handler: DynamicHandler::default(),
+            database: DatabaseConfig::default(),
+            object_cache: ObjectCacheConfig::default(),
+            tcp: TcpModel::default(),
+            baseline_memory: 200 * 1024 * 1024,
+            swap_penalty: 8.0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The §3.2 controlled-lab target: Apache 2.2 with the worker MPM on a
+    /// 3 GHz Pentium 4 with 1 GB of RAM, behind a modest (10 Mbit/s
+    /// effective) access link so that 50 concurrent 100 KB transfers
+    /// visibly contend for bandwidth, with a MySQL back end whose query
+    /// cache is 16 MB.
+    pub fn lab_apache() -> Self {
+        ServerConfig {
+            hardware: HardwareSpec::default(),
+            access_link: mbps(10.0),
+            workers: WorkerConfig {
+                max_workers: 150,
+                listen_queue: 511,
+                ..WorkerConfig::default()
+            },
+            dynamic_handler: DynamicHandler::fastcgi_lab(),
+            database: DatabaseConfig::default(),
+            object_cache: ObjectCacheConfig::default(),
+            tcp: TcpModel::default(),
+            baseline_memory: 250 * 1024 * 1024,
+            swap_penalty: 8.0,
+        }
+    }
+
+    /// The same lab target but with the Mongrel persistent handler instead
+    /// of FastCGI (the paper's contrast case where response time stays flat
+    /// up to 50 clients).
+    pub fn lab_apache_mongrel() -> Self {
+        ServerConfig {
+            dynamic_handler: DynamicHandler::mongrel_lab(),
+            ..ServerConfig::lab_apache()
+        }
+    }
+
+    /// The §3.1 validation server: a lightweight HTTP server on a fast LAN
+    /// machine with an uncontended gigabit link, used only for
+    /// synchronization and synthetic response-model experiments.
+    pub fn validation_server() -> Self {
+        ServerConfig {
+            hardware: HardwareSpec {
+                cpu_cores: 2,
+                cpu_speed: 1.1,
+                ..HardwareSpec::default()
+            },
+            access_link: mbps(1000.0),
+            workers: WorkerConfig {
+                max_workers: 1024,
+                listen_queue: 1024,
+                ..WorkerConfig::default()
+            },
+            dynamic_handler: DynamicHandler::mongrel_lab(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// A well-provisioned commercial front end of the QTNP/QTP kind: ample
+    /// bandwidth, many workers, a datacenter-class machine and a cached
+    /// database.
+    pub fn commercial_frontend() -> Self {
+        ServerConfig {
+            hardware: HardwareSpec::datacenter_class(),
+            access_link: mbps(1000.0),
+            workers: WorkerConfig {
+                max_workers: 512,
+                listen_queue: 2048,
+                memory_per_worker: 8 * 1024 * 1024,
+                per_request_cpu: 0.000_3,
+                base_page_cpu: 0.000_5,
+            },
+            dynamic_handler: DynamicHandler::PersistentPool {
+                pool_size: 128,
+                pool_memory: 2 * 1024 * 1024 * 1024,
+            },
+            database: DatabaseConfig {
+                query_cache: true,
+                max_concurrent_queries: 256,
+                ..DatabaseConfig::default()
+            },
+            object_cache: ObjectCacheConfig {
+                enabled: true,
+                capacity_bytes: 4 * 1024 * 1024 * 1024,
+            },
+            tcp: TcpModel::well_tuned(),
+            baseline_memory: 1024 * 1024 * 1024,
+            swap_penalty: 8.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_self_consistent() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.hardware.ram_bytes > cfg.baseline_memory);
+        assert!(cfg.access_link > 0.0);
+        assert!(cfg.workers.max_workers > 0);
+        assert!(cfg.database.max_concurrent_queries > 0);
+    }
+
+    #[test]
+    fn lab_apache_matches_paper_setup() {
+        let cfg = ServerConfig::lab_apache();
+        assert_eq!(cfg.hardware.cpu_cores, 1);
+        assert_eq!(cfg.hardware.ram_bytes, 1024 * 1024 * 1024);
+        assert!(matches!(
+            cfg.dynamic_handler,
+            DynamicHandler::ForkPerRequest { .. }
+        ));
+        let mongrel = ServerConfig::lab_apache_mongrel();
+        assert!(matches!(
+            mongrel.dynamic_handler,
+            DynamicHandler::PersistentPool { .. }
+        ));
+    }
+
+    #[test]
+    fn commercial_frontend_is_better_provisioned_than_lab() {
+        let lab = ServerConfig::lab_apache();
+        let com = ServerConfig::commercial_frontend();
+        assert!(com.access_link > lab.access_link);
+        assert!(com.hardware.ram_bytes > lab.hardware.ram_bytes);
+        assert!(com.workers.max_workers > lab.workers.max_workers);
+    }
+
+    #[test]
+    fn handler_presets_differ() {
+        assert_ne!(DynamicHandler::fastcgi_lab(), DynamicHandler::mongrel_lab());
+    }
+
+    #[test]
+    fn hardware_presets_are_ordered() {
+        let low = HardwareSpec::low_end();
+        let def = HardwareSpec::default();
+        let dc = HardwareSpec::datacenter_class();
+        assert!(low.cpu_speed < def.cpu_speed);
+        assert!(dc.ram_bytes > def.ram_bytes);
+        assert!(dc.cpu_cores > def.cpu_cores);
+    }
+}

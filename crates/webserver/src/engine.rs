@@ -1,0 +1,936 @@
+//! The event-driven server simulation.
+//!
+//! [`ServerEngine::run`] takes a batch of timed request arrivals (MFC
+//! requests plus any background traffic), pushes each request through the
+//! server's sub-systems — worker admission, request parsing on the CPU,
+//! static content from cache or disk, dynamic content through the
+//! configured handler and the database, and finally the response transfer
+//! over the shared access link — and reports when every response reached
+//! its client together with a resource-utilization snapshot.
+//!
+//! The per-request pipeline is:
+//!
+//! ```text
+//!   arrival ──► worker admission ──► parse (CPU) ──┬─► HEAD: respond
+//!        (listen queue / refuse)                   ├─► static: cache? ──► disk ──► transfer
+//!                                                  └─► dynamic: handler ──► DB ──► transfer
+//!   transfer: shared access link (max–min fair) + client downlink + TCP window
+//! ```
+//!
+//! Everything that can make a response slower under load — processor
+//! sharing on the CPU, serialization at the disk, handler and connection
+//! pools, memory overcommit, link sharing — emerges from this pipeline; the
+//! MFC layer above only ever sees the resulting response times.
+
+use std::collections::VecDeque;
+
+use mfc_simcore::{EventHandle, EventQueue, SimDuration, SimTime, TimeWeighted};
+use mfc_simnet::{FlowId, FluidLink};
+
+use crate::cache::CacheState;
+use crate::config::{DynamicHandler, ServerConfig};
+use crate::content::ContentCatalog;
+use crate::request::{ArrivalRecord, RequestClass, RequestOutcome, RequestStatus, ServerRequest};
+use crate::resource::{FifoResource, MemoryTracker, PsResource, SlotPool};
+use crate::telemetry::UtilizationReport;
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-request outcomes, in the same order as the submitted requests.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Server resource usage over the run window.
+    pub utilization: UtilizationReport,
+    /// The server's access log for the run.
+    pub arrival_log: Vec<ArrivalRecord>,
+}
+
+/// A configured simulated server ready to process request batches.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_simcore::{SimDuration, SimTime};
+/// use mfc_webserver::{CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine,
+///                     ServerRequest};
+///
+/// let engine = ServerEngine::new(ServerConfig::lab_apache(), ContentCatalog::lab_validation());
+/// let mut cache = CacheState::new();
+/// let req = ServerRequest {
+///     id: 1,
+///     arrival: SimTime::ZERO,
+///     class: RequestClass::Head,
+///     path: "/index.html".to_string(),
+///     client_downlink: 1e7,
+///     client_rtt: SimDuration::from_millis(40),
+///     background: false,
+/// };
+/// let result = engine.run(vec![req], &mut cache);
+/// assert!(result.outcomes[0].is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerEngine {
+    config: ServerConfig,
+    catalog: ContentCatalog,
+}
+
+impl ServerEngine {
+    /// Creates an engine for a server with the given configuration and
+    /// hosted content.
+    pub fn new(config: ServerConfig, catalog: ContentCatalog) -> Self {
+        ServerEngine { config, catalog }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The hosted content.
+    pub fn catalog(&self) -> &ContentCatalog {
+        &self.catalog
+    }
+
+    /// Processes a batch of requests to completion.
+    ///
+    /// `cache` carries object/query cache warmth across runs (epochs).
+    /// Outcomes are returned in the order the requests were supplied.
+    pub fn run(&self, requests: Vec<ServerRequest>, cache: &mut CacheState) -> RunResult {
+        let mut sim = Sim::new(&self.config, &self.catalog, requests, cache);
+        sim.run();
+        sim.into_result()
+    }
+}
+
+/// Phase a request is currently in; used to route resource-completion
+/// events back to the right next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting in the listen queue for a worker.
+    AwaitWorker,
+    /// Parsing / basic HTTP processing on the CPU.
+    Parse,
+    /// Fork-per-request handler start-up on the CPU.
+    Fork,
+    /// Waiting for a persistent-pool handler slot.
+    AwaitHandler,
+    /// Waiting for a database connection slot.
+    AwaitDb,
+    /// Executing the database query on the CPU.
+    Db,
+    /// Response bytes in flight on the access link.
+    Transfer,
+    /// Finished (outcome recorded).
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: ServerRequest,
+    phase: Phase,
+    body_bytes: u64,
+    /// Memory charged for a fork-per-request handler, released at the end.
+    fork_memory: u64,
+    /// Whether this request occupies a persistent-pool handler slot.
+    holds_handler: bool,
+    /// Whether this request occupies a database connection slot.
+    holds_db: bool,
+    /// Database CPU work (seconds) computed when the query was classified,
+    /// consumed when a connection slot is obtained.
+    pending_db_work: f64,
+    /// Extra latency added to the response completion for TCP slow start.
+    slow_start: SimDuration,
+    outcome: Option<RequestOutcome>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival(usize),
+    CpuCheck,
+    NetCheck,
+    DiskDone(usize),
+}
+
+struct Sim<'a> {
+    config: &'a ServerConfig,
+    catalog: &'a ContentCatalog,
+    cache: &'a mut CacheState,
+    queue: EventQueue<Event>,
+    requests: Vec<InFlight>,
+    workers: SlotPool,
+    listen_queue: VecDeque<usize>,
+    handler_pool: SlotPool,
+    db_pool: SlotPool,
+    cpu: PsResource,
+    disk: FifoResource,
+    memory: MemoryTracker,
+    net: FluidLink,
+    cpu_event: Option<EventHandle>,
+    net_event: Option<EventHandle>,
+    now: SimTime,
+    start: SimTime,
+    end: SimTime,
+    busy_workers: TimeWeighted,
+    memory_series: TimeWeighted,
+    arrival_log: Vec<ArrivalRecord>,
+    refused: u64,
+    completed: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(
+        config: &'a ServerConfig,
+        catalog: &'a ContentCatalog,
+        requests: Vec<ServerRequest>,
+        cache: &'a mut CacheState,
+    ) -> Self {
+        let start = requests
+            .iter()
+            .map(|r| r.arrival)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let mut queue = EventQueue::new();
+        let requests: Vec<InFlight> = requests
+            .into_iter()
+            .map(|req| InFlight {
+                req,
+                phase: Phase::AwaitWorker,
+                body_bytes: 0,
+                fork_memory: 0,
+                holds_handler: false,
+                holds_db: false,
+                pending_db_work: 0.0,
+                slow_start: SimDuration::ZERO,
+                outcome: None,
+            })
+            .collect();
+        for (idx, inflight) in requests.iter().enumerate() {
+            queue.schedule(inflight.req.arrival, Event::Arrival(idx));
+        }
+        let handler_capacity = match config.dynamic_handler {
+            DynamicHandler::ForkPerRequest { .. } => u32::MAX,
+            DynamicHandler::PersistentPool { pool_size, .. } => pool_size,
+        };
+        let mut memory = MemoryTracker::new(config.hardware.ram_bytes, config.swap_penalty);
+        memory.allocate(config.baseline_memory);
+        if let DynamicHandler::PersistentPool { pool_memory, .. } = config.dynamic_handler {
+            memory.allocate(pool_memory);
+        }
+        let cpu_capacity = f64::from(config.hardware.cpu_cores) * config.hardware.cpu_speed;
+        Sim {
+            config,
+            catalog,
+            cache,
+            queue,
+            requests,
+            workers: SlotPool::new(config.workers.max_workers),
+            listen_queue: VecDeque::new(),
+            handler_pool: SlotPool::new(handler_capacity),
+            db_pool: SlotPool::new(config.database.max_concurrent_queries),
+            cpu: PsResource::new(cpu_capacity, config.hardware.cpu_speed.max(f64::EPSILON)),
+            disk: FifoResource::new(),
+            memory,
+            net: FluidLink::new(config.access_link),
+            cpu_event: None,
+            net_event: None,
+            now: start,
+            start,
+            end: start,
+            busy_workers: TimeWeighted::new(start, 0.0),
+            memory_series: TimeWeighted::new(start, 0.0),
+            arrival_log: Vec::new(),
+            refused: 0,
+            completed: 0,
+        }
+    }
+
+    fn run(&mut self) {
+        self.memory_series.set(self.start, self.memory.used() as f64);
+        while let Some((time, event)) = self.queue.pop() {
+            self.now = self.now.max(time);
+            match event {
+                Event::Arrival(idx) => self.on_arrival(idx),
+                Event::CpuCheck => self.on_cpu_check(),
+                Event::NetCheck => self.on_net_check(),
+                Event::DiskDone(idx) => self.on_disk_done(idx),
+            }
+            self.reschedule_cpu();
+            self.reschedule_net();
+        }
+        self.end = self.end.max(self.now);
+    }
+
+    fn on_arrival(&mut self, idx: usize) {
+        let (id, background, class, path) = {
+            let inflight = &self.requests[idx];
+            (
+                inflight.req.id,
+                inflight.req.background,
+                inflight.req.class,
+                inflight.req.path.clone(),
+            )
+        };
+        self.arrival_log.push(ArrivalRecord {
+            id,
+            arrival: self.now,
+            background,
+        });
+        // Unknown paths are rejected before consuming a worker; HEAD
+        // requests are always served against the base page.
+        if class != RequestClass::Head && self.catalog.lookup(&path).is_none() {
+            self.complete(idx, RequestStatus::NotFound, self.now, 0);
+            return;
+        }
+        if self.workers.try_acquire(idx as u64) {
+            self.admit(idx);
+        } else if self.listen_queue.len() < self.config.workers.listen_queue as usize {
+            self.requests[idx].phase = Phase::AwaitWorker;
+            self.listen_queue.push_back(idx);
+        } else {
+            self.refused += 1;
+            self.complete(idx, RequestStatus::Refused, self.now, 0);
+        }
+    }
+
+    /// A worker slot has been assigned to request `idx`: charge its memory
+    /// and start parsing.
+    fn admit(&mut self, idx: usize) {
+        self.memory.allocate(self.config.workers.memory_per_worker);
+        self.sample_gauges();
+        self.requests[idx].phase = Phase::Parse;
+        // HEAD requests (and GETs of the base page) still require the
+        // server to render the base page, so they carry its generation
+        // cost in addition to the per-request protocol overhead.
+        let base_page_cost = if self.requests[idx].req.class == RequestClass::Head
+            || self.requests[idx].req.path == self.catalog.base_page().path
+        {
+            self.config.workers.base_page_cpu
+        } else {
+            0.0
+        };
+        let work =
+            (self.config.workers.per_request_cpu + base_page_cost) * self.memory.slowdown();
+        self.cpu.add_task(idx as u64, work, self.now);
+    }
+
+    fn on_cpu_check(&mut self) {
+        loop {
+            let Some((time, id)) = self.cpu.next_completion(self.now) else {
+                break;
+            };
+            if time > self.now {
+                break;
+            }
+            self.cpu.remove_task(id, self.now);
+            let idx = id as usize;
+            match self.requests[idx].phase {
+                Phase::Parse => self.after_parse(idx),
+                Phase::Fork => self.enter_db_stage(idx),
+                Phase::Db => self.after_db(idx),
+                other => unreachable!("unexpected CPU completion in phase {other:?}"),
+            }
+        }
+    }
+
+    fn after_parse(&mut self, idx: usize) {
+        let class = self.requests[idx].req.class;
+        match class {
+            RequestClass::Head => {
+                // Headers only: the response fits in one segment; treat the
+                // send as instantaneous at server side and account only for
+                // the propagation back to the client.
+                let rtt = self.requests[idx].req.client_rtt;
+                let completion = self.now + rtt.mul_f64(0.5);
+                self.release_worker(idx);
+                self.complete(idx, RequestStatus::Ok, completion, 0);
+            }
+            RequestClass::Static => {
+                let (path, size) = {
+                    let object = self
+                        .catalog
+                        .lookup(&self.requests[idx].req.path)
+                        .expect("static path verified at arrival");
+                    (object.path.clone(), object.size_bytes)
+                };
+                self.requests[idx].body_bytes = size;
+                if self.cache.object_lookup(&path, &self.config.object_cache) {
+                    self.start_transfer(idx);
+                } else {
+                    let service_secs = self.config.hardware.disk_seek.as_secs_f64()
+                        + size as f64 / self.config.hardware.disk_bandwidth;
+                    let service =
+                        SimDuration::from_secs_f64(service_secs * self.memory.slowdown());
+                    let delay = self.disk.enqueue(idx as u64, self.now, service);
+                    self.queue
+                        .schedule(self.now + delay, Event::DiskDone(idx));
+                }
+            }
+            RequestClass::Dynamic => {
+                let (size, rows, cacheable, path) = {
+                    let object = self
+                        .catalog
+                        .lookup(&self.requests[idx].req.path)
+                        .expect("dynamic path verified at arrival");
+                    (
+                        object.size_bytes,
+                        object.db_rows,
+                        object.cacheable,
+                        object.path.clone(),
+                    )
+                };
+                self.requests[idx].body_bytes = size;
+                // Pre-compute the database work so the query-cache decision
+                // is made at classification time (the hit/miss counters then
+                // reflect what the back end actually did).
+                let db = &self.config.database;
+                let work = if self.cache.query_lookup(&path, cacheable, db) {
+                    db.cache_hit_cpu
+                } else {
+                    self.cache.query_insert(&path, cacheable, db);
+                    db.base_query_cpu + rows as f64 / 1_000.0 * db.cpu_per_1k_rows
+                };
+                self.requests[idx].pending_db_work = work;
+                match self.config.dynamic_handler {
+                    DynamicHandler::ForkPerRequest {
+                        memory_per_process,
+                        fork_cpu,
+                    } => {
+                        self.requests[idx].fork_memory = memory_per_process;
+                        self.memory.allocate(memory_per_process);
+                        self.sample_gauges();
+                        self.requests[idx].phase = Phase::Fork;
+                        let work = fork_cpu * self.memory.slowdown();
+                        self.cpu.add_task(idx as u64, work, self.now);
+                    }
+                    DynamicHandler::PersistentPool { .. } => {
+                        if self.handler_pool.try_acquire(idx as u64) {
+                            self.requests[idx].holds_handler = true;
+                            self.enter_db_stage(idx);
+                        } else {
+                            self.requests[idx].phase = Phase::AwaitHandler;
+                            self.handler_pool.enqueue(idx as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The request has a handler (forked or pooled) and now needs a
+    /// database connection.
+    fn enter_db_stage(&mut self, idx: usize) {
+        if self.db_pool.try_acquire(idx as u64) {
+            self.requests[idx].holds_db = true;
+            self.start_db_work(idx);
+        } else {
+            self.requests[idx].phase = Phase::AwaitDb;
+            self.db_pool.enqueue(idx as u64);
+        }
+    }
+
+    fn start_db_work(&mut self, idx: usize) {
+        self.requests[idx].phase = Phase::Db;
+        let work = self.requests[idx].pending_db_work * self.memory.slowdown();
+        self.cpu.add_task(idx as u64, work, self.now);
+    }
+
+    fn after_db(&mut self, idx: usize) {
+        // Release the database connection and hand it to the next waiter.
+        if self.requests[idx].holds_db {
+            self.requests[idx].holds_db = false;
+            if let Some(next) = self.db_pool.release_and_next() {
+                let next_idx = next as usize;
+                self.requests[next_idx].holds_db = true;
+                self.start_db_work(next_idx);
+            }
+        }
+        // A pooled handler is done once the content is generated; a forked
+        // handler keeps its memory until the response is fully sent.
+        if self.requests[idx].holds_handler {
+            self.requests[idx].holds_handler = false;
+            if let Some(next) = self.handler_pool.release_and_next() {
+                let next_idx = next as usize;
+                self.requests[next_idx].holds_handler = true;
+                self.enter_db_stage(next_idx);
+            }
+        }
+        self.start_transfer(idx);
+    }
+
+    fn on_disk_done(&mut self, idx: usize) {
+        let (path, size) = {
+            let inflight = &self.requests[idx];
+            (inflight.req.path.clone(), inflight.body_bytes)
+        };
+        self.cache
+            .object_insert(&path, size, &self.config.object_cache);
+        self.start_transfer(idx);
+    }
+
+    fn start_transfer(&mut self, idx: usize) {
+        let bytes = self.requests[idx].body_bytes;
+        let rtt = self.requests[idx].req.client_rtt;
+        if bytes == 0 {
+            let completion = self.now + rtt.mul_f64(0.5);
+            self.release_worker(idx);
+            self.complete(idx, RequestStatus::Ok, completion, 0);
+            return;
+        }
+        self.requests[idx].phase = Phase::Transfer;
+        self.requests[idx].slow_start = self.config.tcp.slow_start_delay(bytes, rtt);
+        let cap = self.requests[idx]
+            .req
+            .client_downlink
+            .min(self.config.tcp.window_limited_rate(rtt));
+        self.net
+            .start_flow(FlowId(idx as u64), bytes as f64, cap, self.now);
+    }
+
+    fn on_net_check(&mut self) {
+        loop {
+            let Some((time, flow)) = self.net.next_completion(self.now) else {
+                break;
+            };
+            if time > self.now {
+                break;
+            }
+            self.net.finish_flow(flow, self.now);
+            let idx = flow.0 as usize;
+            let inflight = &self.requests[idx];
+            let completion =
+                self.now + inflight.slow_start + inflight.req.client_rtt.mul_f64(0.5);
+            let bytes = inflight.body_bytes;
+            self.release_worker(idx);
+            self.complete(idx, RequestStatus::Ok, completion, bytes);
+        }
+    }
+
+    /// Frees the worker slot held by `idx` (and any fork-per-request
+    /// memory), then admits the next queued connection if there is one.
+    fn release_worker(&mut self, idx: usize) {
+        self.memory.release(self.config.workers.memory_per_worker);
+        let fork_memory = self.requests[idx].fork_memory;
+        if fork_memory > 0 {
+            self.memory.release(fork_memory);
+            self.requests[idx].fork_memory = 0;
+        }
+        self.sample_gauges();
+        match self.workers.release_and_next() {
+            Some(_) => {
+                // The released slot passes to the head of the listen queue.
+                if let Some(next_idx) = self.listen_queue.pop_front() {
+                    self.admit(next_idx);
+                } else {
+                    // The SlotPool's own queue is only used for handler and
+                    // DB pools; worker admission uses `listen_queue`, so a
+                    // Some here without a queued connection cannot happen.
+                    unreachable!("worker handoff without a queued connection");
+                }
+            }
+            None => {
+                if let Some(next_idx) = self.listen_queue.pop_front() {
+                    // A slot is free again; take it for the queued request.
+                    let acquired = self.workers.try_acquire(next_idx as u64);
+                    debug_assert!(acquired, "a just-released worker slot must be free");
+                    self.admit(next_idx);
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, idx: usize, status: RequestStatus, completion: SimTime, bytes: u64) {
+        let inflight = &mut self.requests[idx];
+        debug_assert!(inflight.outcome.is_none(), "request completed twice");
+        inflight.phase = Phase::Done;
+        inflight.outcome = Some(RequestOutcome {
+            id: inflight.req.id,
+            arrival: inflight.req.arrival,
+            status,
+            completion,
+            body_bytes: bytes,
+            background: inflight.req.background,
+        });
+        if status == RequestStatus::Ok {
+            self.completed += 1;
+        }
+        self.end = self.end.max(completion).max(self.now);
+    }
+
+    fn sample_gauges(&mut self) {
+        self.busy_workers
+            .set(self.now, f64::from(self.workers.busy()));
+        self.memory_series.set(self.now, self.memory.used() as f64);
+    }
+
+    fn reschedule_cpu(&mut self) {
+        if let Some(handle) = self.cpu_event.take() {
+            self.queue.cancel(handle);
+        }
+        if let Some((time, _)) = self.cpu.next_completion(self.now) {
+            let time = time.max(self.now);
+            self.cpu_event = Some(self.queue.schedule(time, Event::CpuCheck));
+        }
+    }
+
+    fn reschedule_net(&mut self) {
+        if let Some(handle) = self.net_event.take() {
+            self.queue.cancel(handle);
+        }
+        if let Some((time, _)) = self.net.next_completion(self.now) {
+            let time = time.max(self.now);
+            self.net_event = Some(self.queue.schedule(time, Event::NetCheck));
+        }
+    }
+
+    fn into_result(mut self) -> RunResult {
+        let window = self.end.saturating_since(self.start);
+        let cpu_capacity =
+            f64::from(self.config.hardware.cpu_cores) * self.config.hardware.cpu_speed;
+        let cpu_utilization = if window.as_secs_f64() > 0.0 {
+            (self.cpu.work_done() / (cpu_capacity * window.as_secs_f64())).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let utilization = UtilizationReport {
+            window,
+            cpu_utilization,
+            peak_memory_bytes: self.memory.peak(),
+            mean_memory_bytes: self.memory_series.average_until(self.end),
+            network_bytes_sent: self.net.bytes_transferred() as u64,
+            disk_operations: self.disk.operations(),
+            mean_busy_workers: self.busy_workers.average_until(self.end),
+            peak_busy_workers: self.workers.peak_busy(),
+            refused_requests: self.refused,
+            completed_requests: self.completed,
+        };
+        let mut outcomes = Vec::with_capacity(self.requests.len());
+        for inflight in &mut self.requests {
+            let outcome = inflight.outcome.take().unwrap_or_else(|| RequestOutcome {
+                id: inflight.req.id,
+                arrival: inflight.req.arrival,
+                status: RequestStatus::Refused,
+                completion: inflight.req.arrival,
+                body_bytes: 0,
+                background: inflight.req.background,
+            });
+            outcomes.push(outcome);
+        }
+        self.arrival_log.sort_by_key(|r| (r.arrival, r.id));
+        RunResult {
+            outcomes,
+            utilization,
+            arrival_log: self.arrival_log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatabaseConfig, HardwareSpec, ObjectCacheConfig, WorkerConfig};
+    use mfc_simnet::mbps;
+
+    fn head_request(id: u64, at_ms: u64) -> ServerRequest {
+        ServerRequest {
+            id,
+            arrival: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            class: RequestClass::Head,
+            path: "/index.html".to_string(),
+            client_downlink: 1e7,
+            client_rtt: SimDuration::from_millis(40),
+            background: false,
+        }
+    }
+
+    fn static_request(id: u64, at_ms: u64, path: &str) -> ServerRequest {
+        ServerRequest {
+            id,
+            arrival: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            class: RequestClass::Static,
+            path: path.to_string(),
+            client_downlink: 1e8,
+            client_rtt: SimDuration::from_millis(40),
+            background: false,
+        }
+    }
+
+    fn query_request(id: u64, at_ms: u64, path: &str) -> ServerRequest {
+        ServerRequest {
+            id,
+            arrival: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            class: RequestClass::Dynamic,
+            path: path.to_string(),
+            client_downlink: 1e8,
+            client_rtt: SimDuration::from_millis(40),
+            background: false,
+        }
+    }
+
+    fn lab_engine() -> ServerEngine {
+        ServerEngine::new(ServerConfig::lab_apache(), ContentCatalog::lab_validation())
+    }
+
+    #[test]
+    fn head_request_completes_quickly() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let result = engine.run(vec![head_request(1, 0)], &mut cache);
+        let outcome = &result.outcomes[0];
+        assert!(outcome.is_ok());
+        assert_eq!(outcome.body_bytes, 0);
+        // Parse cost + half an RTT: well under 50 ms.
+        assert!(outcome.latency() < SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn unknown_path_is_not_found() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let result = engine.run(vec![static_request(1, 0, "/no/such/file")], &mut cache);
+        assert_eq!(result.outcomes[0].status, RequestStatus::NotFound);
+    }
+
+    #[test]
+    fn static_request_cold_then_warm_cache() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let cold = engine.run(
+            vec![static_request(1, 0, "/objects/large_100k.bin")],
+            &mut cache,
+        );
+        let warm = engine.run(
+            vec![static_request(2, 0, "/objects/large_100k.bin")],
+            &mut cache,
+        );
+        assert!(cold.outcomes[0].is_ok());
+        assert!(warm.outcomes[0].is_ok());
+        // The warm run skips the disk.
+        assert_eq!(cold.utilization.disk_operations, 1);
+        assert_eq!(warm.utilization.disk_operations, 0);
+        assert!(warm.outcomes[0].latency() <= cold.outcomes[0].latency());
+    }
+
+    #[test]
+    fn concurrent_large_transfers_share_the_access_link() {
+        let engine = lab_engine();
+        // Warm the cache so the disk is out of the picture.
+        let mut cache = CacheState::new();
+        engine.run(
+            vec![static_request(0, 0, "/objects/large_100k.bin")],
+            &mut cache,
+        );
+        let single = engine.run(
+            vec![static_request(1, 0, "/objects/large_100k.bin")],
+            &mut cache,
+        );
+        let crowd: Vec<ServerRequest> = (0..30)
+            .map(|i| static_request(100 + i, 0, "/objects/large_100k.bin"))
+            .collect();
+        let crowded = engine.run(crowd, &mut cache);
+        let single_latency = single.outcomes[0].latency();
+        let median_crowded = {
+            let mut latencies: Vec<f64> = crowded
+                .outcomes
+                .iter()
+                .map(|o| o.latency().as_millis_f64())
+                .collect();
+            latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            latencies[latencies.len() / 2]
+        };
+        assert!(
+            median_crowded > 3.0 * single_latency.as_millis_f64(),
+            "30 concurrent 100KB transfers over 10 Mbit/s must contend: single={}ms crowd={}ms",
+            single_latency.as_millis_f64(),
+            median_crowded
+        );
+        // All bytes were accounted for on the link (allowing sub-byte fluid
+        // rounding per flow).
+        assert!(crowded.utilization.network_bytes_sent >= 30 * 100 * 1024 - 30);
+    }
+
+    #[test]
+    fn query_cache_makes_repeated_queries_cheap() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let first = engine.run(vec![query_request(1, 0, "/cgi/stats?table=t1")], &mut cache);
+        let second = engine.run(vec![query_request(2, 0, "/cgi/stats?table=t1")], &mut cache);
+        assert!(first.outcomes[0].is_ok());
+        assert!(second.outcomes[0].is_ok());
+        assert!(second.outcomes[0].latency() < first.outcomes[0].latency());
+        assert_eq!(cache.query_stats().0, 1);
+    }
+
+    #[test]
+    fn fork_per_request_grows_memory_with_crowd() {
+        let engine = ServerEngine::new(
+            ServerConfig {
+                database: DatabaseConfig {
+                    query_cache: false,
+                    ..DatabaseConfig::default()
+                },
+                ..ServerConfig::lab_apache()
+            },
+            ContentCatalog::lab_validation(),
+        );
+        let mut cache = CacheState::new();
+        let small: Vec<ServerRequest> = (0..5)
+            .map(|i| query_request(i, 0, "/cgi/stats?table=t1"))
+            .collect();
+        let small_run = engine.run(small, &mut cache);
+        let big: Vec<ServerRequest> = (0..50)
+            .map(|i| query_request(i, 0, "/cgi/stats?table=t1"))
+            .collect();
+        let big_run = engine.run(big, &mut cache);
+        assert!(
+            big_run.utilization.peak_memory_bytes > small_run.utilization.peak_memory_bytes,
+            "memory must grow with the number of concurrent forked handlers"
+        );
+    }
+
+    #[test]
+    fn mongrel_keeps_memory_flat() {
+        let engine = ServerEngine::new(
+            ServerConfig::lab_apache_mongrel(),
+            ContentCatalog::lab_validation(),
+        );
+        let mut cache = CacheState::new();
+        let small_run = engine.run(
+            (0..5)
+                .map(|i| query_request(i, 0, "/cgi/stats?table=t1"))
+                .collect(),
+            &mut cache,
+        );
+        let big_run = engine.run(
+            (0..50)
+                .map(|i| query_request(i, 0, "/cgi/stats?table=t1"))
+                .collect(),
+            &mut cache,
+        );
+        // Peak memory only differs by the worker slots, not by 45 handler
+        // processes.
+        let delta = big_run.utilization.peak_memory_bytes as i64
+            - small_run.utilization.peak_memory_bytes as i64;
+        assert!(
+            delta < 50 * 8 * 1024 * 1024,
+            "persistent pool must not fork per request (delta {delta})"
+        );
+    }
+
+    #[test]
+    fn listen_queue_overflow_refuses_connections() {
+        let config = ServerConfig {
+            workers: WorkerConfig {
+                max_workers: 1,
+                listen_queue: 2,
+                ..WorkerConfig::default()
+            },
+            hardware: HardwareSpec {
+                cpu_speed: 0.01,
+                ..HardwareSpec::default()
+            },
+            ..ServerConfig::lab_apache()
+        };
+        let engine = ServerEngine::new(config, ContentCatalog::lab_validation());
+        let mut cache = CacheState::new();
+        let requests: Vec<ServerRequest> = (0..10).map(|i| head_request(i, 0)).collect();
+        let result = engine.run(requests, &mut cache);
+        let refused = result
+            .outcomes
+            .iter()
+            .filter(|o| o.status == RequestStatus::Refused)
+            .count();
+        assert_eq!(refused, 7, "1 worker + 2 queue slots leaves 7 refused");
+        assert_eq!(result.utilization.refused_requests, 7);
+    }
+
+    #[test]
+    fn worker_limit_serializes_excess_requests() {
+        let config = ServerConfig {
+            workers: WorkerConfig {
+                max_workers: 2,
+                listen_queue: 100,
+                per_request_cpu: 0.01,
+                ..WorkerConfig::default()
+            },
+            access_link: mbps(1000.0),
+            ..ServerConfig::lab_apache()
+        };
+        let engine = ServerEngine::new(config, ContentCatalog::lab_validation());
+        let mut cache = CacheState::new();
+        let result = engine.run((0..20).map(|i| head_request(i, 0)).collect(), &mut cache);
+        let mut latencies: Vec<f64> = result
+            .outcomes
+            .iter()
+            .map(|o| o.latency().as_millis_f64())
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // With only two workers the last requests wait for many service
+        // times; the spread between fastest and slowest must be large.
+        assert!(latencies.last().unwrap() > &(latencies[0] * 5.0));
+        assert_eq!(result.utilization.peak_busy_workers, 2);
+    }
+
+    #[test]
+    fn arrival_log_matches_requests() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let result = engine.run(
+            vec![head_request(3, 5), head_request(1, 1), head_request(2, 3)],
+            &mut cache,
+        );
+        let ids: Vec<u64> = result.arrival_log.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 3], "arrival log is time-ordered");
+    }
+
+    #[test]
+    fn outcomes_preserve_submission_order() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let result = engine.run(
+            vec![head_request(30, 5), head_request(10, 1), head_request(20, 3)],
+            &mut cache,
+        );
+        let ids: Vec<u64> = result.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn empty_run_is_harmless() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let result = engine.run(Vec::new(), &mut cache);
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.utilization.completed_requests, 0);
+    }
+
+    #[test]
+    fn background_flag_is_propagated() {
+        let engine = lab_engine();
+        let mut cache = CacheState::new();
+        let mut req = head_request(9, 0);
+        req.background = true;
+        let result = engine.run(vec![req], &mut cache);
+        assert!(result.outcomes[0].background);
+        assert!(result.arrival_log[0].background);
+    }
+
+    #[test]
+    fn object_cache_disabled_hits_disk_every_time() {
+        let config = ServerConfig {
+            object_cache: ObjectCacheConfig {
+                enabled: false,
+                capacity_bytes: 0,
+            },
+            ..ServerConfig::lab_apache()
+        };
+        let engine = ServerEngine::new(config, ContentCatalog::lab_validation());
+        let mut cache = CacheState::new();
+        for i in 0..3 {
+            engine.run(
+                vec![static_request(i, 0, "/objects/large_100k.bin")],
+                &mut cache,
+            );
+        }
+        assert_eq!(cache.object_stats(), (0, 3));
+    }
+}

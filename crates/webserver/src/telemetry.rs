@@ -1,0 +1,102 @@
+//! Server-side resource telemetry.
+//!
+//! The lab validation in §3.2 of the paper pairs the client-observed
+//! response times with `atop` measurements of "the CPU, resident memory,
+//! disk access, and network usage" on the server.  Figures 5 and 6 plot
+//! those series against the crowd size.  [`UtilizationReport`] is the
+//! simulated equivalent: one snapshot of server resource usage over an
+//! observation window (typically one MFC epoch).
+
+use mfc_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated resource usage over one observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// Length of the observation window.
+    pub window: SimDuration,
+    /// Mean CPU utilization over the window, in the range 0–1 (1 = all
+    /// cores busy the whole window).
+    pub cpu_utilization: f64,
+    /// Peak resident memory over the window, in bytes.
+    pub peak_memory_bytes: u64,
+    /// Mean resident memory over the window, in bytes.
+    pub mean_memory_bytes: f64,
+    /// Bytes sent on the access link during the window.
+    pub network_bytes_sent: u64,
+    /// Number of disk operations issued during the window.
+    pub disk_operations: u64,
+    /// Mean number of busy worker slots.
+    pub mean_busy_workers: f64,
+    /// Peak number of busy worker slots.
+    pub peak_busy_workers: u32,
+    /// Requests that were refused because the listen queue overflowed.
+    pub refused_requests: u64,
+    /// Requests completed during the window.
+    pub completed_requests: u64,
+}
+
+impl UtilizationReport {
+    /// Mean outbound network throughput over the window in bytes/second.
+    pub fn network_throughput(&self) -> f64 {
+        let secs = self.window.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.network_bytes_sent as f64 / secs
+        }
+    }
+
+    /// Peak memory in megabytes — the unit Figure 6 uses.
+    pub fn peak_memory_mb(&self) -> f64 {
+        self.peak_memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Network bytes sent in kilobytes — the unit Figure 5 uses.
+    pub fn network_kb_sent(&self) -> f64 {
+        self.network_bytes_sent as f64 / 1024.0
+    }
+
+    /// CPU utilization as a percentage (0–100), the unit Figure 6 uses.
+    pub fn cpu_percent(&self) -> f64 {
+        self.cpu_utilization * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> UtilizationReport {
+        UtilizationReport {
+            window: SimDuration::from_secs(10),
+            cpu_utilization: 0.35,
+            peak_memory_bytes: 512 * 1024 * 1024,
+            mean_memory_bytes: 400.0 * 1024.0 * 1024.0,
+            network_bytes_sent: 5 * 1024 * 1024,
+            disk_operations: 12,
+            mean_busy_workers: 7.5,
+            peak_busy_workers: 20,
+            refused_requests: 1,
+            completed_requests: 55,
+        }
+    }
+
+    #[test]
+    fn derived_units() {
+        let r = report();
+        assert!((r.network_throughput() - 524_288.0).abs() < 1.0);
+        assert!((r.peak_memory_mb() - 512.0).abs() < 1e-9);
+        assert!((r.network_kb_sent() - 5_120.0).abs() < 1e-9);
+        assert!((r.cpu_percent() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_throughput_is_zero() {
+        let r = UtilizationReport {
+            window: SimDuration::ZERO,
+            ..report()
+        };
+        assert_eq!(r.network_throughput(), 0.0);
+    }
+}

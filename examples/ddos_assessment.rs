@@ -1,0 +1,70 @@
+//! §6 extension: use MFC results to assess exposure to low-volume
+//! application-level denial-of-service attacks, and test how much request
+//! *staggering* the site can tolerate.
+//!
+//! The paper argues that an operator should know (a) which resource is the
+//! cheapest for an attacker to exhaust and (b) at what request volume it
+//! starts to keel over; and it proposes a "staggered" MFC variant that
+//! spaces request arrivals to find out whether a server that struggles with
+//! a synchronized burst copes fine with the same volume spread over time.
+//!
+//! This example runs both analyses against a mid-tier site: a standard MFC
+//! for the exposure assessment, then the same Small Query crowd with 0 ms,
+//! 50 ms and 200 ms stagger.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example ddos_assessment
+//! ```
+
+use mfc_core::backend::sim::{SimBackend, SimTargetSpec};
+use mfc_core::config::MfcConfig;
+use mfc_core::coordinator::Coordinator;
+use mfc_core::types::Stage;
+use mfc_simcore::{SimDuration, SimRng};
+use mfc_sites::SiteClass;
+
+fn target() -> SimTargetSpec {
+    // A representative mid-popularity site (10K-100K rank class).
+    let mut rng = SimRng::seed_from(2024);
+    SiteClass::Rank10KTo100K.generate_site(17, &mut rng)
+}
+
+fn main() {
+    // Part 1: which sub-system keels over first, and at what volume?
+    let mut backend = SimBackend::new(target(), 65, 1);
+    let config = MfcConfig::standard().with_max_crowd(50).with_increment(5);
+    let report = Coordinator::new(config.clone())
+        .with_seed(9)
+        .run(&mut backend)
+        .expect("enough clients");
+    println!("{}", report.render_text());
+    println!("DDoS exposure: {:?}\n", report.inference.ddos_exposure);
+
+    // Part 2: the staggered variant.  The same number of Small Query
+    // requests is sent, but arrivals are spaced out; if the response-time
+    // impact disappears with modest spacing, the site handles medium- and
+    // low-volume flash crowds fine and only tightly synchronized bursts
+    // hurt it.
+    println!("staggered Small Query probes (crowd of 40):");
+    for stagger_ms in [0u64, 50, 200] {
+        let mut backend = SimBackend::new(target(), 65, 1);
+        let mut probe_config = config.clone();
+        if stagger_ms > 0 {
+            probe_config = probe_config.with_stagger(SimDuration::from_millis(stagger_ms));
+        }
+        let coordinator = Coordinator::new(probe_config).with_seed(9);
+        let (summary, _) = coordinator
+            .probe_crowd(&mut backend, Stage::SmallQuery, 40)
+            .expect("enough clients");
+        println!(
+            "  stagger {:>4} ms -> median normalized response time {:>8.1} ms",
+            stagger_ms, summary.median_ms
+        );
+    }
+    println!(
+        "\nA large drop between 0 ms and 200 ms stagger means the bottleneck only binds under\n\
+         synchronized bursts — request shaping would protect this site; a persistent increase\n\
+         means the back end is simply under-provisioned for the volume."
+    );
+}

@@ -1,0 +1,254 @@
+//! Cross-crate property-based tests.
+//!
+//! These exercise the invariants the MFC inferences lean on: order
+//! statistics, fluid fair sharing, the synchronization arithmetic, HTTP
+//! message round-trips and the monotonicity of the server model under
+//! load.  Each property is phrased over randomly generated inputs via
+//! `proptest`.
+
+use mfc_core::sync::{send_offset, ClientLatency, SyncScheduler};
+use mfc_core::types::ClientId;
+use mfc_http::{Method, Request, Response, StatusCode, Url};
+use mfc_simcore::stats::{median, percentile};
+use mfc_simcore::{EventQueue, SimDuration, SimTime};
+use mfc_simnet::{FlowId, FluidLink, TcpModel};
+use mfc_webserver::{
+    CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
+};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------------------------------------------------------
+    // Order statistics (the MFC detector).
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn percentile_is_bounded_by_min_and_max(
+        values in proptest::collection::vec(0.0f64..1e6, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let p = percentile(&values, q).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_the_quantile(
+        values in proptest::collection::vec(0.0f64..1e6, 1..200),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile(&values, lo).unwrap() <= percentile(&values, hi).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn median_is_invariant_under_permutation(
+        mut values in proptest::collection::vec(0.0f64..1e6, 1..100),
+    ) {
+        let original = median(&values).unwrap();
+        values.reverse();
+        prop_assert_eq!(original, median(&values).unwrap());
+    }
+
+    // ---------------------------------------------------------------
+    // Event queue ordering.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((time, _)) = queue.pop() {
+            prop_assert!(time >= last);
+            last = time;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    // ---------------------------------------------------------------
+    // Fluid link fair sharing.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn fluid_link_never_exceeds_capacity_and_conserves_bytes(
+        capacity in 1_000.0f64..1e8,
+        sizes in proptest::collection::vec(1.0f64..1e6, 1..40),
+    ) {
+        let mut link = FluidLink::new(capacity);
+        for (i, &bytes) in sizes.iter().enumerate() {
+            link.start_flow(FlowId(i as u64), bytes, f64::INFINITY, SimTime::ZERO);
+        }
+        prop_assert!(link.utilization_bytes_per_sec() <= capacity * (1.0 + 1e-9));
+        // Drain the link to completion.
+        let mut remaining = sizes.len();
+        let mut guard = 0;
+        while remaining > 0 && guard < 10_000 {
+            guard += 1;
+            let now = link
+                .next_completion(SimTime::ZERO)
+                .map(|(t, _)| t)
+                .unwrap_or(SimTime::ZERO);
+            if let Some((_, flow)) = link.next_completion(now) {
+                link.finish_flow(flow, now);
+                remaining -= 1;
+            }
+        }
+        prop_assert_eq!(remaining, 0, "all flows must eventually finish");
+        let total: f64 = sizes.iter().sum();
+        prop_assert!((link.bytes_transferred() - total).abs() < total * 1e-6 + 1.0);
+    }
+
+    // ---------------------------------------------------------------
+    // TCP model.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn tcp_transfer_time_is_monotone_in_bytes(
+        bytes_a in 0u64..50_000_000,
+        bytes_b in 0u64..50_000_000,
+        rtt_ms in 1u64..500,
+        rate in 1_000.0f64..1e9,
+    ) {
+        let tcp = TcpModel::default();
+        let rtt = SimDuration::from_millis(rtt_ms);
+        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(tcp.transfer_time(small, rtt, rate) <= tcp.transfer_time(large, rtt, rate));
+    }
+
+    // ---------------------------------------------------------------
+    // Synchronization scheduling arithmetic.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn compensated_commands_arrive_exactly_at_the_lead_when_latencies_hold(
+        coord_ms in proptest::collection::vec(1u64..400, 1..60),
+        target_ms in proptest::collection::vec(1u64..400, 1..60),
+        lead_secs in 2u64..60,
+    ) {
+        let n = coord_ms.len().min(target_ms.len());
+        let latencies: Vec<ClientLatency> = (0..n)
+            .map(|i| ClientLatency {
+                client: ClientId(i as u32),
+                coordinator_rtt: SimDuration::from_millis(coord_ms[i]),
+                target_rtt: SimDuration::from_millis(target_ms[i]),
+            })
+            .collect();
+        let lead = SimDuration::from_secs(lead_secs);
+        let scheduler = SyncScheduler::simultaneous(lead);
+        for command in scheduler.schedule(&latencies) {
+            let latency = latencies.iter().find(|l| l.client == command.client).unwrap();
+            let compensation = latency.coordinator_rtt.mul_f64(0.5)
+                + latency.target_rtt.mul_f64(1.5);
+            // With a lead of at least 2 s and RTTs under 400 ms the offset
+            // never saturates, so send + compensation == lead exactly (up to
+            // the microsecond rounding of the half-RTT terms).
+            let arrival = command.send_offset + compensation;
+            let diff = arrival.saturating_sub(lead).max(lead.saturating_sub(arrival));
+            prop_assert!(diff <= SimDuration::from_micros(2), "diff {diff}");
+        }
+    }
+
+    #[test]
+    fn send_offset_never_exceeds_the_intended_arrival(
+        coord_ms in 0u64..2_000,
+        target_ms in 0u64..2_000,
+        lead_ms in 0u64..20_000,
+    ) {
+        let latency = ClientLatency {
+            client: ClientId(0),
+            coordinator_rtt: SimDuration::from_millis(coord_ms),
+            target_rtt: SimDuration::from_millis(target_ms),
+        };
+        let lead = SimDuration::from_millis(lead_ms);
+        prop_assert!(send_offset(&latency, lead) <= lead);
+    }
+
+    // ---------------------------------------------------------------
+    // HTTP wire format round trips.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn http_request_head_round_trips(
+        path in "/[a-z0-9/._-]{0,40}",
+        query in proptest::option::of("[a-z0-9=&]{1,30}"),
+        header_value in "[ -~]{0,60}",
+    ) {
+        let target = match &query {
+            Some(q) => format!("{path}?{q}"),
+            None => path.clone(),
+        };
+        let target = if target.is_empty() { "/".to_string() } else { target };
+        let request = Request::new(Method::Get, target.clone(), "example.org")
+            .with_header("x-prop", header_value.trim());
+        let parsed = Request::read_from(&mut BufReader::new(&request.to_bytes()[..])).unwrap();
+        prop_assert_eq!(parsed.target, target);
+        prop_assert_eq!(parsed.method, Method::Get);
+    }
+
+    #[test]
+    fn http_response_body_round_trips(body in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let response = Response::new(StatusCode::OK, body.clone());
+        let parsed = Response::read_from(
+            &mut BufReader::new(&response.to_bytes(false)[..]),
+            true,
+            1 << 20,
+        )
+        .unwrap();
+        prop_assert_eq!(parsed.body, body);
+        prop_assert_eq!(parsed.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn url_parse_display_round_trips(
+        host in "[a-z][a-z0-9.-]{0,20}",
+        port in 1u16..,
+        path in "/[a-z0-9/._-]{0,30}",
+    ) {
+        let raw = format!("http://{host}:{port}{path}");
+        let url = Url::parse(&raw).unwrap();
+        let reparsed = Url::parse(&url.to_string()).unwrap();
+        prop_assert_eq!(url, reparsed);
+    }
+
+    // ---------------------------------------------------------------
+    // Server engine sanity under arbitrary crowd sizes.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn engine_accounts_for_every_request(crowd in 1usize..60, stagger_us in 0u64..50_000) {
+        let engine = ServerEngine::new(
+            ServerConfig::lab_apache(),
+            ContentCatalog::lab_validation(),
+        );
+        let mut cache = CacheState::new();
+        let requests: Vec<ServerRequest> = (0..crowd)
+            .map(|i| ServerRequest {
+                id: i as u64,
+                arrival: SimTime::from_micros(i as u64 * stagger_us),
+                class: RequestClass::Head,
+                path: "/index.html".to_string(),
+                client_downlink: 1e7,
+                client_rtt: SimDuration::from_millis(40),
+                background: false,
+            })
+            .collect();
+        let result = engine.run(requests, &mut cache);
+        prop_assert_eq!(result.outcomes.len(), crowd);
+        prop_assert_eq!(result.arrival_log.len(), crowd);
+        for outcome in &result.outcomes {
+            prop_assert!(outcome.completion >= outcome.arrival);
+        }
+    }
+}

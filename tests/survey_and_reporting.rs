@@ -1,0 +1,78 @@
+//! Integration tests for the §5 survey machinery and the reporting layer.
+
+use mfc_core::backend::sim::{SimBackend, SimTargetSpec};
+use mfc_core::config::MfcConfig;
+use mfc_core::coordinator::Coordinator;
+use mfc_core::types::Stage;
+use mfc_simcore::SimRng;
+use mfc_sites::{survey, SiteClass, StoppingBucket, SurveyConfig};
+use mfc_webserver::{ContentCatalog, ServerConfig};
+
+#[test]
+fn survey_buckets_partition_the_population() {
+    let config = SurveyConfig::quick(SiteClass::Rank10KTo100K, Stage::Base, 10);
+    let result = survey::run_survey(SiteClass::Rank10KTo100K, &config);
+    assert_eq!(result.sites, 10);
+    assert_eq!(result.bucket_counts.len(), StoppingBucket::ALL.len());
+    assert_eq!(result.bucket_counts.iter().sum::<usize>(), 10);
+    assert_eq!(result.outcomes.len(), 10);
+    // Every recorded stopping size is consistent with its bucket.
+    for outcome in result.outcomes.iter().flatten() {
+        assert!(*outcome <= 50, "stopping sizes cannot exceed the crowd cap");
+    }
+    // Fractions are a probability distribution.
+    let sum: f64 = result.bucket_fractions().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn rank_correlation_shows_up_in_moderate_samples() {
+    // 16 sites per class is enough for the headline monotonicity to be
+    // stable with the fixed seeds used here.
+    let probe = |class: SiteClass| {
+        let config = SurveyConfig::quick(class, Stage::SmallQuery, 16);
+        survey::run_survey(class, &config).constrained_fraction()
+    };
+    let top = probe(SiteClass::Top1K);
+    let bottom = probe(SiteClass::Rank100KTo1M);
+    assert!(
+        bottom >= top,
+        "back-end constraints must be at least as common among low-rank sites (top {top}, bottom {bottom})"
+    );
+}
+
+#[test]
+fn generated_sites_are_probeable_end_to_end() {
+    // Any generated site, of any class, can be run through the full MFC
+    // without panics and yields a coherent report.
+    let mut rng = SimRng::seed_from(77);
+    for class in [SiteClass::Top1K, SiteClass::Startup, SiteClass::Phishing] {
+        let spec = class.generate_site(3, &mut rng);
+        let mut backend = SimBackend::new(spec, 55, 9);
+        let config = MfcConfig::standard().with_max_crowd(20).with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.total_requests > 0);
+    }
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let spec = SimTargetSpec::single_server(
+        ServerConfig::lab_apache(),
+        ContentCatalog::lab_validation(),
+    );
+    let mut backend = SimBackend::new(spec, 55, 13);
+    let config = MfcConfig::standard().with_max_crowd(25).with_increment(10);
+    let report = Coordinator::new(config).run(&mut backend).unwrap();
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: mfc_core::report::MfcReport =
+        serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(report, back);
+
+    let text = report.render_text();
+    for stage in Stage::ALL {
+        assert!(text.contains(stage.name()), "report text must mention {}", stage.name());
+    }
+}
