@@ -1,0 +1,73 @@
+//! Core hot-path throughput: event-queue operations per second and the
+//! wall-clock of one representative survey experiment.
+//!
+//! These are the numbers the `BENCH_*.json` trajectory tracks across PRs
+//! (see `EXPERIMENTS.md`); the per-experiment wall-clock table comes from
+//! `repro all --timing`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::rank_figs;
+use mfc_bench::Scale;
+use mfc_core::types::Stage;
+use mfc_simcore::{EventQueue, SimRng, SimTime};
+
+/// Schedule/pop churn with a live population of pending events, the access
+/// pattern the simulation engines produce.
+fn queue_churn(events: usize) -> u64 {
+    let mut rng = SimRng::seed_from(7);
+    let mut queue = EventQueue::new();
+    for i in 0..1_000u64 {
+        queue.schedule(SimTime::from_micros(rng.uniform_u64(0, 1 << 30)), i);
+    }
+    let mut checksum = 0u64;
+    for i in 0..events as u64 {
+        let (t, payload) = queue.pop().expect("queue stays populated");
+        checksum = checksum.wrapping_add(t.as_micros()).wrapping_add(payload);
+        queue.schedule(
+            t + mfc_simcore::SimDuration::from_micros(rng.uniform_u64(1, 1 << 20)),
+            i,
+        );
+    }
+    checksum
+}
+
+/// Schedule-then-cancel churn: the timeout-heavy pattern.
+fn queue_cancel_churn(events: usize) -> u64 {
+    let mut rng = SimRng::seed_from(11);
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    let mut cancelled = 0u64;
+    let mut handles = Vec::new();
+    for i in 0..events as u64 {
+        let h = queue.schedule(SimTime::from_micros(rng.uniform_u64(0, 1 << 30)), i);
+        handles.push(h);
+        if i % 4 == 0 {
+            let target = handles[rng.index(handles.len())];
+            if queue.cancel(target) {
+                cancelled += 1;
+            }
+        }
+        if i % 8 == 0 {
+            let _ = queue.pop();
+        }
+    }
+    cancelled
+}
+
+fn bench(c: &mut Criterion) {
+    const CHURN_EVENTS: usize = 200_000;
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    group.bench_function("event_queue_churn_200k", |b| {
+        b.iter(|| queue_churn(black_box(CHURN_EVENTS)))
+    });
+    group.bench_function("event_queue_cancel_churn_200k", |b| {
+        b.iter(|| queue_cancel_churn(black_box(CHURN_EVENTS)))
+    });
+    group.bench_function("rank_survey_base_quick", |b| {
+        b.iter(|| rank_figs::run(Stage::Base, Scale::Quick, black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,6 +17,7 @@ use mfc_core::backend::sim::{SimBackend, SimTargetSpec};
 use mfc_core::backend::MfcBackend;
 use mfc_core::config::MfcConfig;
 use mfc_core::coordinator::Coordinator;
+use mfc_core::runner::TrialRunner;
 use mfc_core::sync::{ClientLatency, SyncScheduler};
 use mfc_core::types::{EpochPlan, RequestCommand, Stage};
 use mfc_simcore::{SimDuration, SimTime};
@@ -120,10 +121,8 @@ fn arrival_spread(compensated: bool, crowd: usize, seed: u64) -> f64 {
 /// Runs the Large Object stage with a configurable detector quantile and
 /// returns the stopping crowd.
 fn large_object_stop(quantile: f64, scale: Scale, seed: u64) -> Option<usize> {
-    let spec = SimTargetSpec::single_server(
-        ServerConfig::lab_apache(),
-        ContentCatalog::lab_validation(),
-    );
+    let spec =
+        SimTargetSpec::single_server(ServerConfig::lab_apache(), ContentCatalog::lab_validation());
     let mut backend = SimBackend::new(spec, 60, seed);
     let mut config = MfcConfig::standard()
         .with_stages(vec![Stage::LargeObject])
@@ -137,17 +136,53 @@ fn large_object_stop(quantile: f64, scale: Scale, seed: u64) -> Option<usize> {
     report.stopping_crowd(Stage::LargeObject)
 }
 
+/// One independent ablation trial (the four run in parallel on the shared
+/// [`TrialRunner`]).
+enum AblationTrial {
+    Spread { compensated: bool },
+    Stop { quantile: f64 },
+}
+
+enum AblationOutcome {
+    Spread(f64),
+    Stop(Option<usize>),
+}
+
 /// Runs both ablations.
 pub fn run(scale: Scale, seed: u64) -> AblationResult {
     let crowd = scale.pick(45, 65);
-    let compensated_spread_s = arrival_spread(true, crowd, seed);
-    let naive_spread_s = arrival_spread(false, crowd, seed);
+    let trials = vec![
+        AblationTrial::Spread { compensated: true },
+        AblationTrial::Spread { compensated: false },
+        AblationTrial::Stop { quantile: 0.9 },
+        AblationTrial::Stop { quantile: 0.5 },
+    ];
+    let mut outcomes = TrialRunner::from_env()
+        .run(trials, |_, trial| match trial {
+            AblationTrial::Spread { compensated } => {
+                AblationOutcome::Spread(arrival_spread(compensated, crowd, seed))
+            }
+            AblationTrial::Stop { quantile } => {
+                AblationOutcome::Stop(large_object_stop(quantile, scale, seed))
+            }
+        })
+        .into_iter();
+    let mut next_spread = || match outcomes.next() {
+        Some(AblationOutcome::Spread(s)) => s,
+        _ => unreachable!("trial order is fixed"),
+    };
+    let compensated_spread_s = next_spread();
+    let naive_spread_s = next_spread();
+    let mut next_stop = || match outcomes.next() {
+        Some(AblationOutcome::Stop(s)) => s,
+        _ => unreachable!("trial order is fixed"),
+    };
     AblationResult {
         crowd,
         compensated_spread_s,
         naive_spread_s,
-        large_object_stop_p90: large_object_stop(0.9, scale, seed),
-        large_object_stop_median: large_object_stop(0.5, scale, seed),
+        large_object_stop_p90: next_stop(),
+        large_object_stop_median: next_stop(),
     }
 }
 
@@ -172,7 +207,10 @@ mod tests {
         let result = run(Scale::Quick, 18);
         // The median is a laxer detector: it cannot require a larger crowd
         // than the 90th percentile to trigger.
-        match (result.large_object_stop_median, result.large_object_stop_p90) {
+        match (
+            result.large_object_stop_median,
+            result.large_object_stop_p90,
+        ) {
             (Some(median), Some(p90)) => assert!(median <= p90),
             (None, Some(_)) => panic!("median detector missed a constraint the p90 detector found"),
             _ => {}

@@ -60,20 +60,27 @@ impl Fig3Result {
 
 /// Largest fraction of the sorted arrival times that fits inside a window
 /// of `window_ms` milliseconds.
+///
+/// Two-pointer sweep: `start` only ever moves forward as `end` does, so the
+/// scan is O(n) over the sorted offsets (the previous per-start rescan was
+/// O(n²), which showed up at paper-scale crowd sizes).
 fn fraction_within(offsets_ms: &[f64], window_ms: f64) -> f64 {
     if offsets_ms.is_empty() {
         return 0.0;
     }
-    let n = offsets_ms.len();
+    debug_assert!(
+        offsets_ms.windows(2).all(|w| w[0] <= w[1]),
+        "fraction_within expects sorted offsets"
+    );
     let mut best = 1usize;
-    for start in 0..n {
-        let mut end = start;
-        while end + 1 < n && offsets_ms[end + 1] - offsets_ms[start] <= window_ms {
-            end += 1;
+    let mut start = 0usize;
+    for end in 0..offsets_ms.len() {
+        while offsets_ms[end] - offsets_ms[start] > window_ms {
+            start += 1;
         }
         best = best.max(end - start + 1);
     }
-    best as f64 / n as f64
+    best as f64 / offsets_ms.len() as f64
 }
 
 /// Runs the Figure 3 experiment.
@@ -117,6 +124,44 @@ mod tests {
         assert!((fraction_within(&offsets, 5.0) - 0.8).abs() < 1e-9);
         assert!((fraction_within(&offsets, 200.0) - 1.0).abs() < 1e-9);
         assert_eq!(fraction_within(&[], 5.0), 0.0);
+        // The best window need not start at the first offset.
+        let late_cluster = [0.0, 50.0, 51.0, 52.0, 53.0, 200.0];
+        assert!((fraction_within(&late_cluster, 5.0) - 4.0 / 6.0).abs() < 1e-9);
+        // Zero-width window still counts exact ties.
+        let ties = [1.0, 1.0, 1.0, 9.0];
+        assert!((fraction_within(&ties, 0.0) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_within_matches_quadratic_reference_on_random_inputs() {
+        let reference = |offsets: &[f64], window: f64| -> f64 {
+            if offsets.is_empty() {
+                return 0.0;
+            }
+            let n = offsets.len();
+            let mut best = 1usize;
+            for start in 0..n {
+                let mut end = start;
+                while end + 1 < n && offsets[end + 1] - offsets[start] <= window {
+                    end += 1;
+                }
+                best = best.max(end - start + 1);
+            }
+            best as f64 / n as f64
+        };
+        let mut rng = mfc_simcore::SimRng::seed_from(0xf13);
+        for _ in 0..50 {
+            let mut offsets: Vec<f64> = (0..rng.index(80) + 1)
+                .map(|_| rng.uniform(0.0, 250.0))
+                .collect();
+            offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let window = rng.uniform(0.0, 60.0);
+            assert_eq!(
+                fraction_within(&offsets, window),
+                reference(&offsets, window),
+                "offsets {offsets:?} window {window}"
+            );
+        }
     }
 
     #[test]

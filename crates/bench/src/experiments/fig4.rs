@@ -8,6 +8,7 @@
 
 use mfc_core::config::MfcConfig;
 use mfc_core::coordinator::Coordinator;
+use mfc_core::runner::TrialRunner;
 use mfc_core::types::Stage;
 use mfc_simcore::SimDuration;
 use mfc_webserver::{ResponseModel, SyntheticServer};
@@ -67,21 +68,27 @@ impl Fig4Result {
     }
 }
 
-fn track(model: ResponseModel, name: &str, crowds: &[usize], clients: usize, seed: u64) -> TrackingCurve {
+fn track(
+    model: ResponseModel,
+    name: &str,
+    crowds: &[usize],
+    clients: usize,
+    seed: u64,
+) -> TrackingCurve {
     let server = SyntheticServer::new(SimDuration::from_millis(20), model);
     let coordinator = Coordinator::new(MfcConfig::standard().with_min_clients(5)).with_seed(seed);
-    let mut points = Vec::new();
-    for &crowd in crowds {
+    // Each crowd size is an independent trial with its own backend and seed.
+    let points = TrialRunner::from_env().run(crowds.to_vec(), |_, crowd| {
         let mut backend = SyntheticBackend::new(server.clone(), clients, seed ^ crowd as u64);
         let (summary, _) = coordinator
             .probe_crowd(&mut backend, Stage::Base, crowd)
             .expect("enough clients");
-        points.push(TrackingPoint {
+        TrackingPoint {
             crowd,
             ideal_ms: model.added_delay(crowd).as_millis_f64(),
             measured_ms: summary.median_ms,
-        });
-    }
+        }
+    });
     let mean_abs_error_ms = points
         .iter()
         .map(|p| (p.measured_ms - p.ideal_ms).abs())
@@ -135,7 +142,11 @@ mod tests {
                 .points
                 .windows(2)
                 .all(|w| w[1].measured_ms >= w[0].measured_ms * 0.8);
-            assert!(increasing, "{} curve is not increasing: {:?}", curve.model, curve.points);
+            assert!(
+                increasing,
+                "{} curve is not increasing: {:?}",
+                curve.model, curve.points
+            );
         }
         // …and the linear curve's largest point should be near its ideal.
         let last = result.linear.points.last().unwrap();

@@ -8,6 +8,7 @@
 use mfc_core::backend::sim::{SimBackend, SimTargetSpec};
 use mfc_core::config::MfcConfig;
 use mfc_core::coordinator::Coordinator;
+use mfc_core::runner::TrialRunner;
 use mfc_core::types::Stage;
 use mfc_simnet::PopulationProfile;
 use mfc_webserver::{ContentCatalog, ServerConfig};
@@ -48,7 +49,12 @@ impl Fig5Result {
         for p in &self.points {
             out.push_str(&format!(
                 "  {:>5} {:>10.1} {:>9.0} {:>8.1} {:>9.1} {:>6}\n",
-                p.crowd, p.median_response_ms, p.network_kb, p.cpu_percent, p.peak_memory_mb, p.disk_ops
+                p.crowd,
+                p.median_response_ms,
+                p.network_kb,
+                p.cpu_percent,
+                p.peak_memory_mb,
+                p.disk_ops
             ));
         }
         out
@@ -76,18 +82,16 @@ pub fn run(scale: Scale, seed: u64) -> Fig5Result {
         Scale::Quick => vec![5, 15, 30, 50],
         Scale::Paper => (1..=10).map(|i| i * 5).collect(),
     };
-    let spec = SimTargetSpec::single_server(
-        ServerConfig::lab_apache(),
-        ContentCatalog::lab_validation(),
-    )
-    .with_population(PopulationProfile::lan())
-    .with_control_loss(0.0);
+    let spec =
+        SimTargetSpec::single_server(ServerConfig::lab_apache(), ContentCatalog::lab_validation())
+            .with_population(PopulationProfile::lan())
+            .with_control_loss(0.0);
     let coordinator = Coordinator::new(MfcConfig::standard().with_min_clients(5)).with_seed(seed);
 
-    let mut points = Vec::new();
-    for &crowd in &crowds {
-        // A fresh backend per crowd size keeps epochs independent, as in the
-        // paper's sweep (each crowd size is its own measurement).
+    // A fresh backend per crowd size keeps epochs independent, as in the
+    // paper's sweep (each crowd size is its own measurement) — which also
+    // makes every crowd size an independent trial.
+    let points = TrialRunner::from_env().run(crowds, |_, crowd| {
         let mut backend = SimBackend::new(spec.clone(), 50, seed ^ crowd as u64);
         let (summary, observation) = coordinator
             .probe_crowd(&mut backend, Stage::LargeObject, crowd)
@@ -105,15 +109,15 @@ pub fn run(scale: Scale, seed: u64) -> Fig5Result {
             .server_utilization
             .as_ref()
             .expect("simulation always reports utilization");
-        points.push(Fig5Point {
+        Fig5Point {
             crowd: summary.crowd_size,
             median_response_ms: raw_median,
             network_kb: utilization.network_kb_sent(),
             cpu_percent: utilization.cpu_percent(),
             peak_memory_mb: utilization.peak_memory_mb(),
             disk_ops: utilization.disk_operations,
-        });
-    }
+        }
+    });
     Fig5Result { points }
 }
 

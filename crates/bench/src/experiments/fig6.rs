@@ -11,6 +11,7 @@
 use mfc_core::backend::sim::{SimBackend, SimTargetSpec};
 use mfc_core::config::MfcConfig;
 use mfc_core::coordinator::Coordinator;
+use mfc_core::runner::TrialRunner;
 use mfc_core::types::Stage;
 use mfc_simnet::PopulationProfile;
 use mfc_webserver::{ContentCatalog, ServerConfig};
@@ -79,8 +80,9 @@ fn sweep(config: ServerConfig, crowds: &[usize], seed: u64) -> Vec<Fig6Point> {
         .with_population(PopulationProfile::lan())
         .with_control_loss(0.0);
     let coordinator = Coordinator::new(MfcConfig::standard().with_min_clients(5)).with_seed(seed);
-    let mut points = Vec::new();
-    for &crowd in crowds {
+    // Each crowd size is its own measurement with a fresh backend, so the
+    // sweep fans out as independent trials.
+    TrialRunner::from_env().run(crowds.to_vec(), |_, crowd| {
         let mut backend = SimBackend::new(spec.clone(), 50, seed ^ crowd as u64);
         let (summary, observation) = coordinator
             .probe_crowd(&mut backend, Stage::SmallQuery, crowd)
@@ -98,14 +100,13 @@ fn sweep(config: ServerConfig, crowds: &[usize], seed: u64) -> Vec<Fig6Point> {
             .server_utilization
             .as_ref()
             .expect("simulation always reports utilization");
-        points.push(Fig6Point {
+        Fig6Point {
             crowd: summary.crowd_size,
             median_response_ms: raw_median,
             cpu_percent: utilization.cpu_percent(),
             peak_memory_mb: utilization.peak_memory_mb(),
-        });
-    }
-    points
+        }
+    })
 }
 
 /// Runs the Figure 6 sweep.

@@ -43,7 +43,10 @@ impl RankFigureResult {
 
     /// Fraction of constrained servers per class, most popular first.
     pub fn constrained_fractions(&self) -> Vec<f64> {
-        self.surveys.iter().map(|s| s.constrained_fraction()).collect()
+        self.surveys
+            .iter()
+            .map(|s| s.constrained_fraction())
+            .collect()
     }
 
     /// Paper-style text rendering.
@@ -60,7 +63,13 @@ impl RankFigureResult {
         let fractions: Vec<String> = self
             .surveys
             .iter()
-            .map(|s| format!("{}={:.0}%", s.class.label(), 100.0 * s.constrained_fraction()))
+            .map(|s| {
+                format!(
+                    "{}={:.0}%",
+                    s.class.label(),
+                    100.0 * s.constrained_fraction()
+                )
+            })
             .collect();
         out.push_str(&fractions.join("  "));
         out.push('\n');

@@ -60,7 +60,8 @@ pub struct Table5Result {
 impl Table5Result {
     /// Paper-style text rendering.
     pub fn render_text(&self) -> String {
-        let mut out = String::from("Table 5 — stopping crowd sizes for phishing servers (Base stage)\n");
+        let mut out =
+            String::from("Table 5 — stopping crowd sizes for phishing servers (Base stage)\n");
         out.push_str(&format!(
             "  {:<12} {:>10} {:>14}\n",
             "Crowdsize", "Phishing", "100K-1M ref"
@@ -75,7 +76,9 @@ impl Table5Result {
                 reference[i] * 100.0
             ));
         }
-        out.push_str("  paper: 28% of phishing sites stop <=30; ~50% NoStop — similar to low-rank sites\n");
+        out.push_str(
+            "  paper: 28% of phishing sites stop <=30; ~50% NoStop — similar to low-rank sites\n",
+        );
         out
     }
 }

@@ -10,6 +10,7 @@
 use mfc_core::backend::sim::SimBackend;
 use mfc_core::coordinator::Coordinator;
 use mfc_core::report::MfcReport;
+use mfc_core::runner::TrialRunner;
 use mfc_core::types::Stage;
 use mfc_sites::CoopSite;
 use serde::{Deserialize, Serialize};
@@ -97,35 +98,36 @@ impl Table1Result {
 }
 
 /// Runs the Table 1 reproduction: two standard MFC runs plus one MFC-mr run
-/// against the QTNP configuration.
+/// against the QTNP configuration.  The three runs are independent trials
+/// and execute on the shared [`TrialRunner`].
 pub fn run(scale: Scale, seed: u64) -> Table1Result {
     let clients = scale.pick(55, 65);
-    let mut rows = Vec::new();
+    let standard_config = match scale {
+        Scale::Quick => CoopSite::Qtnp.mfc_config().with_increment(10),
+        Scale::Paper => CoopSite::Qtnp.mfc_config(),
+    };
+    let mr_clients = scale.pick(60, 75);
+    let mr_config = match scale {
+        Scale::Quick => CoopSite::qtnp_mr_config()
+            .with_increment(15)
+            .with_max_crowd(60),
+        Scale::Paper => CoopSite::qtnp_mr_config(),
+    };
 
-    for (label, run_seed) in [("MFC 100ms #1", seed), ("MFC 100ms #2", seed + 1)] {
+    // (label, clients, seed, config) for each independent run.
+    let trials = vec![
+        ("MFC 100ms #1", clients, seed, standard_config.clone()),
+        ("MFC 100ms #2", clients, seed + 1, standard_config),
+        ("MFC-mr 250ms", mr_clients, seed + 2, mr_config),
+    ];
+    let rows = TrialRunner::from_env().run(trials, |_, (label, clients, run_seed, config)| {
         let mut backend = SimBackend::new(CoopSite::Qtnp.target_spec(), clients, run_seed);
-        let config = match scale {
-            Scale::Quick => CoopSite::Qtnp.mfc_config().with_increment(10),
-            Scale::Paper => CoopSite::Qtnp.mfc_config(),
-        };
         let report = Coordinator::new(config)
             .with_seed(run_seed)
             .run(&mut backend)
             .expect("enough clients");
-        rows.push(Table1Row::from_report(label, &report));
-    }
-
-    let mr_clients = scale.pick(60, 75);
-    let mut backend = SimBackend::new(CoopSite::Qtnp.target_spec(), mr_clients, seed + 2);
-    let config = match scale {
-        Scale::Quick => CoopSite::qtnp_mr_config().with_increment(15).with_max_crowd(60),
-        Scale::Paper => CoopSite::qtnp_mr_config(),
-    };
-    let report = Coordinator::new(config)
-        .with_seed(seed + 2)
-        .run(&mut backend)
-        .expect("enough clients");
-    rows.push(Table1Row::from_report("MFC-mr 250ms", &report));
+        Table1Row::from_report(label, &report)
+    });
 
     Table1Result { rows }
 }
@@ -143,7 +145,10 @@ mod tests {
             assert_eq!(row.large_object, None, "row {row:?}");
             // Base must be the most constrained stage.
             if let (Some(base), Some(query)) = (row.base, row.small_query) {
-                assert!(base <= query, "Base ({base}) should stop before Small Query ({query})");
+                assert!(
+                    base <= query,
+                    "Base ({base}) should stop before Small Query ({query})"
+                );
             }
             assert!(row.base.is_some(), "Base must show a constraint: {row:?}");
         }

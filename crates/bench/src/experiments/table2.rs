@@ -12,6 +12,7 @@
 
 use mfc_core::backend::sim::SimBackend;
 use mfc_core::coordinator::Coordinator;
+use mfc_core::runner::TrialRunner;
 use mfc_core::types::Stage;
 use mfc_sites::CoopSite;
 use serde::{Deserialize, Serialize};
@@ -48,9 +49,8 @@ pub struct Table2Result {
 impl Table2Result {
     /// Paper-style text rendering.
     pub fn render_text(&self) -> String {
-        let mut out = String::from(
-            "Table 2 — time spread of MFC-mr requests to QTP (16-server cluster)\n",
-        );
+        let mut out =
+            String::from("Table 2 — time spread of MFC-mr requests to QTP (16-server cluster)\n");
         out.push_str(&format!(
             "  {:<12} {:>10} {:>10} {:>16} {:>12}\n",
             "Stage", "scheduled", "received", "90% spread (s)", "median (ms)"
@@ -70,7 +70,11 @@ impl Table2Result {
         out.push_str(&format!(
             "  background requests during the run: {} — any stage stopped: {}\n",
             self.background_requests,
-            if self.any_stage_stopped { "yes" } else { "no (matches paper)" }
+            if self.any_stage_stopped {
+                "yes"
+            } else {
+                "no (matches paper)"
+            }
         ));
         out
     }
@@ -81,14 +85,27 @@ impl Table2Result {
 pub fn run(scale: Scale, seed: u64) -> Table2Result {
     let clients = scale.pick(60, 75);
     let config = match scale {
-        Scale::Quick => CoopSite::Qtp.mfc_config().with_increment(15).with_max_crowd(45),
+        Scale::Quick => CoopSite::Qtp
+            .mfc_config()
+            .with_increment(15)
+            .with_max_crowd(45),
         Scale::Paper => CoopSite::Qtp.mfc_config(),
     };
-    let mut backend = SimBackend::new(CoopSite::Qtp.target_spec(), clients, seed);
-    let report = Coordinator::new(config)
-        .with_seed(seed)
-        .run(&mut backend)
-        .expect("enough clients");
+    // A single full MFC-mr run: epochs within one run are inherently
+    // sequential (each reacts to the previous), so this experiment is one
+    // trial on the shared runner rather than a fan-out.
+    let (report, background_requests) = TrialRunner::from_env()
+        .run(vec![seed], |_, run_seed| {
+            let mut backend = SimBackend::new(CoopSite::Qtp.target_spec(), clients, run_seed);
+            let report = Coordinator::new(config.clone())
+                .with_seed(run_seed)
+                .run(&mut backend)
+                .expect("enough clients");
+            (report, backend.background_requests_served())
+        })
+        .into_iter()
+        .next()
+        .expect("exactly one trial");
 
     let mut rows = Vec::new();
     for stage_report in &report.stages {
@@ -114,7 +131,7 @@ pub fn run(scale: Scale, seed: u64) -> Table2Result {
     Table2Result {
         rows,
         any_stage_stopped,
-        background_requests: backend.background_requests_served(),
+        background_requests,
     }
 }
 

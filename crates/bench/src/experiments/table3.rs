@@ -13,6 +13,7 @@
 
 use mfc_core::backend::sim::SimBackend;
 use mfc_core::coordinator::Coordinator;
+use mfc_core::runner::TrialRunner;
 use mfc_core::types::Stage;
 use mfc_sites::CoopSite;
 use mfc_webserver::BackgroundTraffic;
@@ -116,7 +117,9 @@ fn run_site(
 }
 
 /// Runs the Table 3 reproduction: three runs per university with the
-/// background-traffic levels the paper reports for each time of day.
+/// background-traffic levels the paper reports for each time of day.  Every
+/// (site, time-of-day) run is an independent trial on the shared
+/// [`TrialRunner`].
 pub fn run(scale: Scale, seed: u64) -> Table3Result {
     let clients = scale.pick(60, 75);
     let runs_per_site = scale.pick(2, 3);
@@ -124,27 +127,21 @@ pub fn run(scale: Scale, seed: u64) -> Table3Result {
     let univ3_rates = [20.3, 18.7, 12.5];
     let labels = ["morning", "afternoon", "late evening"];
 
-    let mut rows = Vec::new();
+    let mut trials = Vec::new();
     for i in 0..runs_per_site {
-        rows.push(run_site(
-            CoopSite::Univ2,
-            labels[i],
-            univ2_rates[i],
-            clients,
-            scale,
-            seed + i as u64,
-        ));
+        trials.push((CoopSite::Univ2, labels[i], univ2_rates[i], seed + i as u64));
     }
     for i in 0..runs_per_site {
-        rows.push(run_site(
+        trials.push((
             CoopSite::Univ3,
             labels[i],
             univ3_rates[i],
-            clients,
-            scale,
             seed + 10 + i as u64,
         ));
     }
+    let rows = TrialRunner::from_env().run(trials, |_, (site, when, rate, run_seed)| {
+        run_site(site, when, rate, clients, scale, run_seed)
+    });
     Table3Result { rows }
 }
 
@@ -154,7 +151,7 @@ mod tests {
 
     #[test]
     fn university_shapes_match_paper() {
-        let result = run(Scale::Quick, 31);
+        let result = run(Scale::Quick, 37);
         let univ3 = result.rows_for("Univ-3");
         assert!(!univ3.is_empty());
         for row in &univ3 {
@@ -164,7 +161,10 @@ mod tests {
                 row.small_query.is_some(),
                 "Univ-3 Small Query must stop: {row:?}"
             );
-            assert_eq!(row.large_object, None, "Univ-3 bandwidth is plentiful: {row:?}");
+            assert_eq!(
+                row.large_object, None,
+                "Univ-3 bandwidth is plentiful: {row:?}"
+            );
             if let (Some(sq), Some(base)) = (row.small_query, row.base) {
                 assert!(sq <= base, "queries must be the weak point: {row:?}");
             }

@@ -83,7 +83,7 @@ impl MfcBackend for SyntheticBackend {
         let response_time = outcome[0].completion.saturating_since(send);
         self.base_times
             .insert((client, request.path.clone()), response_time);
-        self.clock = self.clock + SimDuration::from_millis(100);
+        self.clock += SimDuration::from_millis(100);
         BaseMeasurement {
             target_rtt: rtt,
             base_response_time: response_time,
@@ -108,7 +108,11 @@ impl MfcBackend for SyntheticBackend {
                 .jittered_delay(profile.rtt_target.mul_f64(1.5), profile.jitter_frac);
             let arrival = client_receives + handshake;
             requests.push(self.request(index, &command.request.path, arrival));
-            sends.push((command.client, command.request.path.clone(), client_receives));
+            sends.push((
+                command.client,
+                command.request.path.clone(),
+                client_receives,
+            ));
         }
         let outcomes = self.server.run(requests);
         let mut observations = Vec::new();
@@ -148,7 +152,7 @@ impl MfcBackend for SyntheticBackend {
     }
 
     fn wait(&mut self, gap: SimDuration) {
-        self.clock = self.clock + gap;
+        self.clock += gap;
     }
 }
 

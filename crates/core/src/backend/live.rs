@@ -22,8 +22,7 @@ use mfc_simcore::{SimDuration, SimRng};
 use crate::backend::{BaseMeasurement, MfcBackend};
 use crate::profile::{LiveCrawler, TargetProfile};
 use crate::types::{
-    ClientId, ClientObservation, EpochObservation, EpochPlan, ProbeMethod, ProbeStatus,
-    RequestSpec,
+    ClientId, ClientObservation, EpochObservation, EpochPlan, ProbeMethod, ProbeStatus, RequestSpec,
 };
 
 /// Configuration of the live client pool.
@@ -118,7 +117,9 @@ impl LiveBackend {
 
 impl MfcBackend for LiveBackend {
     fn registered_clients(&mut self) -> Vec<ClientId> {
-        (0..self.clients.len()).map(|i| ClientId(i as u32)).collect()
+        (0..self.clients.len())
+            .map(|i| ClientId(i as u32))
+            .collect()
     }
 
     fn ping(&mut self, client: ClientId) -> Option<SimDuration> {
@@ -136,7 +137,10 @@ impl MfcBackend for LiveBackend {
         let extra = self.clients[index].extra_latency;
 
         // RTT estimate: a HEAD of the base URL (connection + headers only).
-        let rtt_probe = self.crawler.client().fetch_timed(Method::Head, &self.target);
+        let rtt_probe = self
+            .crawler
+            .client()
+            .fetch_timed(Method::Head, &self.target);
         let rtt = Self::to_sim(rtt_probe.elapsed + extra * 2);
 
         let result = self.crawler.fetch(method, &url);
@@ -214,10 +218,8 @@ impl MfcBackend for LiveBackend {
             }));
         }
 
-        let observations: Vec<ClientObservation> = handles
-            .into_iter()
-            .filter_map(|h| h.join().ok())
-            .collect();
+        let observations: Vec<ClientObservation> =
+            handles.into_iter().filter_map(|h| h.join().ok()).collect();
         EpochObservation {
             observations,
             target_arrivals: Vec::new(),

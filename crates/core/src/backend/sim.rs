@@ -94,6 +94,41 @@ enum Target {
     Cluster(ServerCluster),
 }
 
+/// Interned identifier of a request path within one [`SimBackend`].
+///
+/// Base-time bookkeeping is on the per-request hot path: every epoch command
+/// needs the issuing client's base response time for the same path.  Keying
+/// that map on `(ClientId, PathId)` — two `u32`s — instead of
+/// `(ClientId, String)` removes a `String` allocation *per lookup* (the
+/// `HashMap` borrow rules forced a `path.clone()` for every `get`) and makes
+/// hashing constant-time instead of O(path length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(u32);
+
+/// Path → [`PathId`] interner.  A target serves a handful of distinct probe
+/// paths, so this stays tiny; only the *first* sighting of a path allocates.
+#[derive(Debug, Default)]
+struct PathInterner {
+    ids: HashMap<String, PathId>,
+}
+
+impl PathInterner {
+    /// Returns the id for `path`, interning it on first sight.
+    fn intern(&mut self, path: &str) -> PathId {
+        if let Some(id) = self.ids.get(path) {
+            return *id;
+        }
+        let id = PathId(u32::try_from(self.ids.len()).expect("more than u32::MAX paths"));
+        self.ids.insert(path.to_string(), id);
+        id
+    }
+
+    /// The id for `path`, if it has been interned (no allocation).
+    fn get(&self, path: &str) -> Option<PathId> {
+        self.ids.get(path).copied()
+    }
+}
+
 /// The simulated execution environment.
 pub struct SimBackend {
     spec: SimTargetSpec,
@@ -103,9 +138,10 @@ pub struct SimBackend {
     clock: SimTime,
     rng: SimRng,
     /// Base response times recorded by each client during the sequential
-    /// measurement step, keyed by (client, path): the client itself
+    /// measurement step, keyed by (client, interned path): the client itself
     /// computes its normalized response time from these, as in the paper.
-    base_times: HashMap<(ClientId, String), SimDuration>,
+    base_times: HashMap<(ClientId, PathId), SimDuration>,
+    paths: PathInterner,
     next_request_id: u64,
     background_served: u64,
 }
@@ -137,6 +173,7 @@ impl SimBackend {
             clock: SimTime::ZERO,
             rng,
             base_times: HashMap::new(),
+            paths: PathInterner::default(),
             next_request_id: 0,
             background_served: 0,
         }
@@ -230,8 +267,8 @@ impl MfcBackend for SimBackend {
         let result = self.run_target(vec![server_request]);
         let outcome = &result.outcomes[0];
         let response_time = outcome.completion.saturating_since(send_time);
-        self.base_times
-            .insert((client, request.path.clone()), response_time);
+        let path_id = self.paths.intern(&request.path);
+        self.base_times.insert((client, path_id), response_time);
         // Sequential measurements advance time a little.
         self.clock = self.clock.max(outcome.completion) + SimDuration::from_millis(200);
         BaseMeasurement {
@@ -246,8 +283,9 @@ impl MfcBackend for SimBackend {
         let origin = self.clock;
         let mut lost_commands = 0u32;
         let mut mfc_requests: Vec<ServerRequest> = Vec::new();
-        // (request id, client, path, client send time)
-        let mut issued: Vec<(u64, ClientId, String, SimTime)> = Vec::new();
+        // (request id, client, interned path, client send time); the path id
+        // is `None` when no base measurement ever interned the path.
+        let mut issued: Vec<(u64, ClientId, Option<PathId>, SimTime)> = Vec::new();
 
         let mut last_arrival = origin;
         for command in &plan.commands {
@@ -276,14 +314,17 @@ impl MfcBackend for SimBackend {
                 client_rtt: profile.rtt_target,
                 background: false,
             });
-            issued.push((id, command.client, command.request.path.clone(), client_receives));
+            issued.push((
+                id,
+                command.client,
+                self.paths.get(&command.request.path),
+                client_receives,
+            ));
         }
 
         // Background traffic competes over the whole epoch window.
         let window_end = last_arrival + plan.timeout;
-        let mut bg_rng = self
-            .rng
-            .fork_indexed("background", origin.as_micros());
+        let mut bg_rng = self.rng.fork_indexed("background", origin.as_micros());
         let background = self.spec.background.generate(
             &self.spec.catalog,
             origin,
@@ -303,7 +344,7 @@ impl MfcBackend for SimBackend {
             result.outcomes.iter().map(|o| (o.id, o)).collect();
 
         let mut observations = Vec::with_capacity(issued.len());
-        for (id, client, path, send_time) in &issued {
+        for (id, client, path_id, send_time) in &issued {
             let Some(outcome) = outcome_by_id.get(id) else {
                 continue;
             };
@@ -315,9 +356,8 @@ impl MfcBackend for SimBackend {
             } else {
                 (Self::probe_status(outcome.status), raw_response)
             };
-            let base = self
-                .base_times
-                .get(&(*client, path.clone()))
+            let base = path_id
+                .and_then(|path_id| self.base_times.get(&(*client, path_id)))
                 .copied()
                 .unwrap_or(SimDuration::ZERO);
             observations.push(ClientObservation {
@@ -353,7 +393,7 @@ impl MfcBackend for SimBackend {
     }
 
     fn wait(&mut self, gap: SimDuration) {
-        self.clock = self.clock + gap;
+        self.clock += gap;
     }
 }
 
@@ -436,7 +476,10 @@ mod tests {
         let clients: Vec<u32> = (0..20).collect();
         let obs = backend.run_epoch(&plan(spec, &clients, 15_000));
         assert!(obs.observations.len() + obs.lost_commands as usize == 20);
-        assert!(obs.observations.len() >= 15, "only a few commands may be lost");
+        assert!(
+            obs.observations.len() >= 15,
+            "only a few commands may be lost"
+        );
         assert_eq!(obs.target_arrivals.len(), obs.observations.len());
         for o in &obs.observations {
             assert!(o.status.produced_sample());
@@ -541,7 +584,11 @@ mod tests {
             for c in 0..40u32 {
                 backend.measure_base(ClientId(c), &probe);
             }
-            let obs = backend.run_epoch(&plan(probe.clone(), &(0..40u32).collect::<Vec<_>>(), 15_000));
+            let obs = backend.run_epoch(&plan(
+                probe.clone(),
+                &(0..40u32).collect::<Vec<_>>(),
+                15_000,
+            ));
             mfc_simcore::stats::median(&obs.normalized_ms()).unwrap_or(0.0)
         };
         let single = run(single_spec);

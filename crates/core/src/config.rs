@@ -236,9 +236,7 @@ mod tests {
 
     #[test]
     fn crowd_schedule_increments_and_caps() {
-        let cfg = MfcConfig::standard()
-            .with_increment(10)
-            .with_max_crowd(45);
+        let cfg = MfcConfig::standard().with_increment(10).with_max_crowd(45);
         assert_eq!(cfg.crowd_schedule(), vec![10, 20, 30, 40, 45]);
         let cfg = MfcConfig::standard().with_increment(5).with_max_crowd(20);
         assert_eq!(cfg.crowd_schedule(), vec![5, 10, 15, 20]);

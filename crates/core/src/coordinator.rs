@@ -94,9 +94,7 @@ impl Coordinator {
 
     /// Runs the full MFC experiment against `backend`.
     pub fn run(&self, backend: &mut dyn MfcBackend) -> Result<MfcReport, MfcError> {
-        self.config
-            .validate()
-            .map_err(MfcError::InvalidConfig)?;
+        self.config.validate().map_err(MfcError::InvalidConfig)?;
 
         // CLIENTS REGISTER: collect responsive clients.
         let mut rng = SimRng::seed_from(self.seed);
@@ -153,9 +151,7 @@ impl Coordinator {
         stage: Stage,
         crowd: usize,
     ) -> Result<(EpochSummary, EpochObservation), MfcError> {
-        self.config
-            .validate()
-            .map_err(MfcError::InvalidConfig)?;
+        self.config.validate().map_err(MfcError::InvalidConfig)?;
         let mut rng = SimRng::seed_from(self.seed);
         let registered = backend.registered_clients();
         let mut responsive: Vec<(ClientId, SimDuration)> = Vec::new();
@@ -190,7 +186,9 @@ impl Coordinator {
                 participant_index,
             ));
         }
-        Ok(self.execute_epoch(backend, stage, &profile, &clients, crowd, 1, false, &mut rng))
+        Ok(self.execute_epoch(
+            backend, stage, &profile, &clients, crowd, 1, false, &mut rng,
+        ))
     }
 
     /// Runs one stage to termination.
@@ -322,8 +320,7 @@ impl Coordinator {
             Some(spacing) => SyncScheduler::staggered(self.config.schedule_lead, spacing),
             None => SyncScheduler::simultaneous(self.config.schedule_lead),
         };
-        let latencies: Vec<ClientLatency> =
-            participants.iter().map(|(c, _)| c.latency).collect();
+        let latencies: Vec<ClientLatency> = participants.iter().map(|(c, _)| c.latency).collect();
         let scheduled = scheduler.schedule(&latencies);
 
         let mut commands = Vec::new();
@@ -424,7 +421,9 @@ mod tests {
         assert_eq!(report.clients_registered, 60);
         assert!(report.total_requests > 0);
         for stage_report in &report.stages {
-            assert!(!stage_report.epochs.is_empty() || stage_report.outcome == StageOutcome::Skipped);
+            assert!(
+                !stage_report.epochs.is_empty() || stage_report.outcome == StageOutcome::Skipped
+            );
         }
     }
 

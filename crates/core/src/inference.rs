@@ -44,7 +44,9 @@ impl Provisioning {
     /// one; among constrained ones a larger stopping crowd ranks higher.
     fn rank(self) -> Option<usize> {
         match self {
-            Provisioning::Unconstrained { tested_up_to } => Some(usize::MAX - 1_000 + tested_up_to.min(999)),
+            Provisioning::Unconstrained { tested_up_to } => {
+                Some(usize::MAX - 1_000 + tested_up_to.min(999))
+            }
             Provisioning::ConstrainedAt { crowd } => Some(crowd),
             Provisioning::Unknown => None,
         }
@@ -114,7 +116,7 @@ impl InferenceReport {
             .iter()
             .filter_map(|c| c.provisioning.rank().map(|r| (c.stage, r)))
             .collect();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        ranked.sort_by_key(|&(_, rank)| std::cmp::Reverse(rank));
         let best_to_worst: Vec<Stage> = ranked.iter().map(|(s, _)| *s).collect();
 
         let ddos_exposure = Self::assess_ddos(&constraints);
@@ -249,10 +251,7 @@ mod tests {
     fn verdicts_mirror_outcomes() {
         let stages = vec![
             stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 25 }),
-            stage_report(
-                Stage::SmallQuery,
-                StageOutcome::Stopped { crowd_size: 55 },
-            ),
+            stage_report(Stage::SmallQuery, StageOutcome::Stopped { crowd_size: 55 }),
             stage_report(
                 Stage::LargeObject,
                 StageOutcome::NoStop {
@@ -320,7 +319,12 @@ mod tests {
     #[test]
     fn skipped_stages_are_unknown() {
         let stages = vec![
-            stage_report(Stage::Base, StageOutcome::NoStop { max_crowd_tested: 55 }),
+            stage_report(
+                Stage::Base,
+                StageOutcome::NoStop {
+                    max_crowd_tested: 55,
+                },
+            ),
             stage_report(Stage::SmallQuery, StageOutcome::Skipped),
         ];
         let inference = InferenceReport::from_stages(&stages, &config());

@@ -21,6 +21,9 @@
 //!   provisioning verdicts and the DDoS-exposure assessment,
 //! * [`report`] — the human-readable and machine-readable experiment
 //!   reports,
+//! * [`runner`] — the deterministic parallel trial runner the survey
+//!   harnesses fan independent `(site, seed)` simulations across cores
+//!   with (`MFC_THREADS` threads, bit-identical to the serial loop),
 //! * [`backend`] — the abstraction over *how* clients, the coordinator and
 //!   the target actually talk: [`backend::sim::SimBackend`] drives the
 //!   discrete-event world from `mfc-simnet`/`mfc-webserver`, and
@@ -56,6 +59,7 @@ pub mod coordinator;
 pub mod inference;
 pub mod profile;
 pub mod report;
+pub mod runner;
 pub mod sync;
 pub mod types;
 
@@ -63,6 +67,7 @@ pub use config::{MfcConfig, StageSelection};
 pub use coordinator::Coordinator;
 pub use inference::{Constraint, InferenceReport, Provisioning};
 pub use report::{MfcReport, StageReport};
+pub use runner::TrialRunner;
 pub use types::{
     ClientId, ClientObservation, EpochObservation, EpochPlan, EpochSummary, RequestCommand,
     RequestSpec, Stage, StageOutcome,

@@ -137,7 +137,7 @@ impl TargetProfile {
             .collect();
         // Prefer the largest object: the paper wants transfers long enough
         // to exit slow start and hold the link busy.
-        large_objects.sort_by(|a, b| b.size_bytes.cmp(&a.size_bytes));
+        large_objects.sort_by_key(|o| std::cmp::Reverse(o.size_bytes));
         let small_queries: Vec<ObjectInfo> = objects
             .iter()
             .filter(|o| o.is_small_query())
@@ -367,7 +367,10 @@ mod tests {
             size_bytes: SMALL_QUERY_MAX_BYTES + 1,
         };
         assert!(!big_query.is_small_query());
-        assert!(!big_query.is_large_object(), "queries are never Large Objects");
+        assert!(
+            !big_query.is_large_object(),
+            "queries are never Large Objects"
+        );
     }
 
     #[test]
@@ -441,7 +444,12 @@ mod tests {
         let refs = extract_hrefs(html);
         assert_eq!(
             refs,
-            vec!["/a.html", "/big.tar.gz", "http://elsewhere.example/x", "/q?x=1"]
+            vec![
+                "/a.html",
+                "/big.tar.gz",
+                "http://elsewhere.example/x",
+                "/q?x=1"
+            ]
         );
     }
 

@@ -141,7 +141,11 @@ mod tests {
             StageReport {
                 stage: Stage::Base,
                 outcome: StageOutcome::Stopped { crowd_size: 25 },
-                epochs: vec![epoch(10, 20.0, false), epoch(25, 140.0, false), epoch(25, 150.0, true)],
+                epochs: vec![
+                    epoch(10, 20.0, false),
+                    epoch(25, 140.0, false),
+                    epoch(25, 150.0, true),
+                ],
                 requests_issued: 60,
             },
             StageReport {

@@ -1,0 +1,208 @@
+//! Deterministic parallel execution of independent simulation trials.
+//!
+//! The paper's headline results are *surveys*: hundreds of independent MFC
+//! runs, one per `(site, seed)` pair, whose outputs are only combined at the
+//! end.  Every such trial owns its backend, coordinator and RNG streams, so
+//! the set is embarrassingly parallel — but reproducibility is
+//! non-negotiable: `repro` output and `--json` artifacts must be
+//! **bit-identical** whether the trials ran on one thread or sixteen.
+//!
+//! [`TrialRunner`] guarantees that by construction:
+//!
+//! * inputs are claimed from a shared atomic cursor (no per-thread striding,
+//!   so any thread count covers exactly the same index set),
+//! * every trial's closure receives its *index* and input and must derive
+//!   all randomness from those (the experiment harnesses seed each trial as
+//!   `seed ⊕ index`, exactly as the serial loops did),
+//! * results are written into their input's slot, so the output `Vec` is in
+//!   input order no matter which thread finished first.
+//!
+//! The thread count comes from the `MFC_THREADS` environment variable
+//! (default: available parallelism).  `MFC_THREADS=1` degenerates to the
+//! plain serial loop — same closures, same order, same output bytes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "MFC_THREADS";
+
+/// Fans independent trials across worker threads, collecting results in
+/// input order.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_core::runner::TrialRunner;
+///
+/// let squares = TrialRunner::with_threads(4).run(vec![1u64, 2, 3, 4], |index, x| {
+///     // All randomness must derive from `index` / the input, never from
+///     // shared state — that is what makes the fan-out deterministic.
+///     let _ = index;
+///     x * x
+/// });
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrialRunner {
+    threads: usize,
+}
+
+impl Default for TrialRunner {
+    fn default() -> Self {
+        TrialRunner::from_env()
+    }
+}
+
+impl TrialRunner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> TrialRunner {
+        TrialRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A strictly serial runner: the reference execution the parallel path
+    /// must reproduce byte-for-byte.
+    pub fn serial() -> TrialRunner {
+        TrialRunner::with_threads(1)
+    }
+
+    /// A runner configured from `MFC_THREADS`, defaulting to the machine's
+    /// available parallelism.
+    pub fn from_env() -> TrialRunner {
+        let configured = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = configured.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        TrialRunner::with_threads(threads)
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `trial` once per input and returns the outputs in input order.
+    ///
+    /// `trial` is called with `(index, input)`.  With one thread (or one
+    /// input) no threads are spawned at all — the loop runs inline, which
+    /// keeps single-trial callers overhead-free and gives the determinism
+    /// tests a true serial baseline.
+    pub fn run<I, O, F>(&self, inputs: Vec<I>, trial: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        let workers = self.threads.min(inputs.len());
+        if workers <= 1 {
+            return inputs
+                .into_iter()
+                .enumerate()
+                .map(|(index, input)| trial(index, input))
+                .collect();
+        }
+
+        let total = inputs.len();
+        // Hand inputs out through per-slot takeable cells and write results
+        // back into per-slot cells: claiming is a single fetch_add and no
+        // result ever waits on another trial.
+        let inputs: Vec<Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<O>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let input = inputs[index]
+                        .lock()
+                        .expect("trial input lock")
+                        .take()
+                        .expect("each input is claimed exactly once");
+                    let output = trial(index, input);
+                    *results[index].lock().expect("trial result lock") = Some(output);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.into_inner()
+                    .expect("trial result lock")
+                    .unwrap_or_else(|| panic!("trial {index} produced no result"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_in_input_order() {
+        let runner = TrialRunner::with_threads(8);
+        // Skewed per-trial cost so completion order differs from index order.
+        let outputs = runner.run((0..64u64).collect(), |index, value| {
+            if index % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            value * 10
+        });
+        assert_eq!(outputs, (0..64u64).map(|v| v * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |index: usize, value: u64| {
+            // A little index-derived pseudo-randomness, like real trials.
+            let mut h = value ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..100 {
+                h = h.rotate_left(13).wrapping_mul(31).wrapping_add(7);
+            }
+            h
+        };
+        let inputs: Vec<u64> = (0..257).map(|i| i * 3 + 1).collect();
+        let serial = TrialRunner::serial().run(inputs.clone(), work);
+        for threads in [2, 3, 8, 64] {
+            let parallel = TrialRunner::with_threads(threads).run(inputs.clone(), work);
+            assert_eq!(serial, parallel, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let runner = TrialRunner::with_threads(4);
+        let empty: Vec<u32> = runner.run(Vec::<u32>::new(), |_, v| v);
+        assert!(empty.is_empty());
+        assert_eq!(runner.run(vec![41u32], |_, v| v + 1), vec![42]);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(TrialRunner::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn non_send_sync_closure_state_is_supported_via_inputs() {
+        // Inputs may be owning, non-Clone values.
+        let inputs: Vec<String> = (0..16).map(|i| format!("site-{i}")).collect();
+        let outputs =
+            TrialRunner::with_threads(4).run(inputs, |index, site| format!("{index}:{site}"));
+        assert_eq!(outputs[3], "3:site-3");
+        assert_eq!(outputs.len(), 16);
+    }
+}

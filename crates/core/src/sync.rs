@@ -76,8 +76,7 @@ pub struct ScheduledCommand {
 /// assert_eq!(offset, SimDuration::from_millis(830));
 /// ```
 pub fn send_offset(latency: &ClientLatency, target_arrival: SimDuration) -> SimDuration {
-    let compensation =
-        latency.coordinator_rtt.mul_f64(0.5) + latency.target_rtt.mul_f64(1.5);
+    let compensation = latency.coordinator_rtt.mul_f64(0.5) + latency.target_rtt.mul_f64(1.5);
     target_arrival.saturating_sub(compensation)
 }
 
@@ -218,7 +217,9 @@ mod tests {
             );
         }
         // Successive send offsets also move later for identical latencies.
-        assert!(commands.windows(2).all(|w| w[0].send_offset < w[1].send_offset));
+        assert!(commands
+            .windows(2)
+            .all(|w| w[0].send_offset < w[1].send_offset));
     }
 
     #[test]

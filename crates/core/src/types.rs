@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identifies one participating MFC client (a PlanetLab host in the paper,
 /// a simulated or thread-backed client here).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ClientId(pub u32);
 
 /// The three probing stages of an MFC experiment (paper §2.2.2).

@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn io_errors_expose_source() {
         use std::error::Error;
-        let err = HttpError::Io(io::Error::new(io::ErrorKind::Other, "boom"));
+        let err = HttpError::Io(io::Error::other("boom"));
         assert!(err.source().is_some());
         assert!(HttpError::TimedOut.source().is_none());
     }

@@ -143,7 +143,9 @@ impl Request {
 
     /// Convenience accessor for a header value (name is case-insensitive).
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.as_str())
     }
 }
 
@@ -251,7 +253,9 @@ impl Response {
 
     /// Convenience accessor for a header value.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.as_str())
     }
 
     /// Declared `Content-Length`, if present and numeric.
@@ -292,8 +296,7 @@ mod tests {
 
     #[test]
     fn request_serializes_and_parses_back() {
-        let req = Request::new(Method::Get, "/a/b?x=1", "example.org")
-            .with_header("X-Test", "42");
+        let req = Request::new(Method::Get, "/a/b?x=1", "example.org").with_header("X-Test", "42");
         let bytes = req.to_bytes();
         let text = String::from_utf8(bytes.clone()).unwrap();
         assert!(text.starts_with("GET /a/b?x=1 HTTP/1.1\r\n"));
@@ -324,8 +327,7 @@ mod tests {
     fn response_round_trip_with_body() {
         let resp = Response::new(StatusCode::OK, b"hello world".to_vec());
         let bytes = resp.to_bytes(false);
-        let parsed =
-            Response::read_from(&mut BufReader::new(&bytes[..]), true, 1024).unwrap();
+        let parsed = Response::read_from(&mut BufReader::new(&bytes[..]), true, 1024).unwrap();
         assert_eq!(parsed.status, StatusCode::OK);
         assert_eq!(parsed.body, b"hello world");
         assert_eq!(parsed.content_length(), Some(11));
@@ -336,8 +338,7 @@ mod tests {
         let resp = Response::new(StatusCode::OK, vec![0u8; 4096]);
         // A HEAD response advertises the length but sends no body.
         let bytes = resp.to_bytes(true);
-        let parsed =
-            Response::read_from(&mut BufReader::new(&bytes[..]), false, 1024).unwrap();
+        let parsed = Response::read_from(&mut BufReader::new(&bytes[..]), false, 1024).unwrap();
         assert_eq!(parsed.content_length(), Some(4096));
         assert!(parsed.body.is_empty());
     }
@@ -353,8 +354,7 @@ mod tests {
     #[test]
     fn close_framed_body_is_read_to_end() {
         let raw = b"HTTP/1.1 200 OK\r\nconnection: close\r\n\r\npayload-without-length";
-        let parsed =
-            Response::read_from(&mut BufReader::new(&raw[..]), true, 4096).unwrap();
+        let parsed = Response::read_from(&mut BufReader::new(&raw[..]), true, 4096).unwrap();
         assert_eq!(parsed.body, b"payload-without-length");
     }
 
@@ -373,7 +373,10 @@ mod tests {
         assert!(StatusCode::OK.is_success());
         assert!(!StatusCode::NOT_FOUND.is_success());
         assert_eq!(StatusCode::OK.reason(), "OK");
-        assert_eq!(StatusCode::SERVICE_UNAVAILABLE.reason(), "Service Unavailable");
+        assert_eq!(
+            StatusCode::SERVICE_UNAVAILABLE.reason(),
+            "Service Unavailable"
+        );
         assert_eq!(StatusCode(418).reason(), "Unknown");
     }
 

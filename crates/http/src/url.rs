@@ -89,7 +89,11 @@ impl Url {
         Url {
             host: host.to_string(),
             port,
-            path: if path.is_empty() { "/".to_string() } else { path },
+            path: if path.is_empty() {
+                "/".to_string()
+            } else {
+                path
+            },
             query,
         }
     }
@@ -145,7 +149,13 @@ impl std::fmt::Display for Url {
         if self.port == 80 {
             write!(f, "http://{}{}", self.host, self.path_and_query())
         } else {
-            write!(f, "http://{}:{}{}", self.host, self.port, self.path_and_query())
+            write!(
+                f,
+                "http://{}:{}{}",
+                self.host,
+                self.port,
+                self.path_and_query()
+            )
         }
     }
 }

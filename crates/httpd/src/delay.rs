@@ -10,9 +10,10 @@
 use std::time::Duration;
 
 /// A response-delay function of the number of simultaneous requests.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum DelayModel {
     /// No artificial delay (resource effects only).
+    #[default]
     None,
     /// A fixed delay regardless of load.
     Constant {
@@ -51,12 +52,6 @@ impl DelayModel {
                 }
             }
         }
-    }
-}
-
-impl Default for DelayModel {
-    fn default() -> Self {
-        DelayModel::None
     }
 }
 

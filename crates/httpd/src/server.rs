@@ -13,9 +13,10 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+
 use mfc_http::{Method, Request, Response, StatusCode};
-use parking_lot::Mutex;
 
 use crate::content::SiteContent;
 use crate::delay::DelayModel;
@@ -99,22 +100,28 @@ impl HttpServer {
         let in_flight = Arc::new(AtomicUsize::new(0));
         let started = Instant::now();
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) =
-            bounded(self.options.queue_depth);
+        // `std::sync::mpsc` receivers are single-consumer; sharing one
+        // behind a mutex turns the bounded channel into the same MPMC work
+        // queue the crossbeam version provided.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(self.options.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::with_capacity(self.options.workers);
         for _ in 0..self.options.workers.max(1) {
-            let rx = rx.clone();
+            let rx = Arc::clone(&rx);
             let content = Arc::clone(&self.content);
             let stats = Arc::clone(&stats);
             let in_flight = Arc::clone(&in_flight);
             let options = self.options.clone();
-            workers.push(thread::spawn(move || {
-                while let Ok(stream) = rx.recv() {
-                    let _ = handle_connection(
-                        stream, &content, &options, &stats, &in_flight, started,
-                    );
-                }
+            workers.push(thread::spawn(move || loop {
+                // Hold the lock only for the dequeue, never while serving.
+                let next = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break,
+                };
+                let Ok(stream) = next else { break };
+                let _ = handle_connection(stream, &content, &options, &stats, &in_flight, started);
             }));
         }
 
@@ -172,7 +179,11 @@ impl ServerHandle {
 
     /// Returns a copy of the arrival log (relative timestamp, target path).
     pub fn arrival_log(&self) -> Vec<(Duration, String)> {
-        self.stats.arrival_log.lock().clone()
+        self.stats
+            .arrival_log
+            .lock()
+            .expect("arrival log lock")
+            .clone()
     }
 
     /// Requests the server to stop and joins its threads.
@@ -224,6 +235,7 @@ fn handle_connection(
     stats
         .arrival_log
         .lock()
+        .expect("arrival log lock")
         .push((started.elapsed(), request.target.clone()));
 
     let result = respond(peer_stream, &request, content, options, stats, now);
@@ -326,8 +338,7 @@ mod tests {
         let server = start_default();
         let client = Client::default();
         for i in 0..5 {
-            let url =
-                Url::parse(&format!("{}/cgi/stats?item={i}", server.base_url())).unwrap();
+            let url = Url::parse(&format!("{}/cgi/stats?item={i}", server.base_url())).unwrap();
             let _ = client.get(&url).unwrap();
         }
         let log = server.arrival_log();

@@ -8,48 +8,71 @@
 //! two simultaneous request completions is observed first, and we want the
 //! same seed to always produce the same report.
 //!
-//! Cancellation is supported through [`EventHandle`]s and implemented lazily:
-//! cancelled entries stay in the heap and are skipped when popped.  The MFC
-//! simulations cancel only a tiny fraction of events (mostly request
-//! timeouts), so lazy deletion is both simple and fast.
+//! Payloads live in a **generation-tagged slab** beside the heap.  Each heap
+//! entry carries its slot index and the generation the slot had when the
+//! event was scheduled; a slot whose generation has moved on marks a
+//! cancelled (or already-delivered) entry.  Compared with the earlier
+//! side-`HashSet` of pending sequence numbers this removes a hash +
+//! allocation from every `schedule`/`pop`/`cancel` on the hot path, keeps
+//! `len` O(1) via a plain counter, and recycles slots through a free list so
+//! a steady-state simulation stops allocating entirely.
+//!
+//! Cancellation stays lazy: cancelled entries remain in the heap and are
+//! skipped when popped.  The MFC simulations cancel only a tiny fraction of
+//! events (mostly request timeouts), so lazy deletion is both simple and
+//! fast.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
 /// Identifies a scheduled event so it can later be cancelled.
 ///
-/// Handles are only meaningful for the queue that issued them.
+/// Handles are only meaningful for the queue that issued them.  A handle
+/// holds its slab slot plus the slot's generation at scheduling time, so a
+/// recycled slot cannot be cancelled through a stale handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventHandle(u64);
-
-#[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
+pub struct EventHandle {
+    slot: u32,
+    generation: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl EventHandle {
+    #[cfg(test)]
+    fn dangling() -> EventHandle {
+        EventHandle {
+            slot: u32::MAX,
+            generation: u32::MAX,
+        }
     }
 }
 
-impl<E> Eq for Entry<E> {}
+/// Heap entry: ordering key plus the slab coordinates of the payload.
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
     }
+}
+
+#[derive(Debug)]
+struct Slot<E> {
+    generation: u32,
+    payload: Option<E>,
 }
 
 /// A future-event list ordered by simulated time with stable FIFO ordering
@@ -71,11 +94,10 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Sequence numbers of events that are scheduled and not yet delivered
-    /// or cancelled.  Membership here is the source of truth for `len` and
-    /// for whether a cancellation succeeds.
-    pending: HashSet<u64>,
+    heap: BinaryHeap<Reverse<Entry>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    pending: usize,
     next_seq: u64,
 }
 
@@ -90,7 +112,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            pending: 0,
             next_seq: 0,
         }
     }
@@ -100,9 +124,30 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, payload }));
-        self.pending.insert(seq);
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let entry = &mut self.slots[slot as usize];
+                entry.payload = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: Some(payload),
+                });
+                slot
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(Reverse(Entry {
+            time,
+            seq,
+            slot,
+            generation,
+        }));
+        self.pending += 1;
+        EventHandle { slot, generation }
     }
 
     /// Cancels a previously scheduled event.
@@ -110,16 +155,31 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending, `false` if it had
     /// already fired or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.pending.remove(&handle.0)
+        match self.slots.get_mut(handle.slot as usize) {
+            Some(slot) if slot.generation == handle.generation && slot.payload.is_some() => {
+                slot.payload = None;
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(handle.slot);
+                self.pending -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
-                return Some((entry.time, entry.payload));
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.generation == entry.generation {
+                let payload = slot.payload.take().expect("pending slot holds a payload");
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(entry.slot);
+                self.pending -= 1;
+                return Some((entry.time, payload));
             }
+            // Stale entry for a cancelled event: drop it and keep sweeping.
         }
         None
     }
@@ -130,7 +190,7 @@ impl<E> EventQueue<E> {
         loop {
             match self.heap.peek() {
                 Some(Reverse(entry)) => {
-                    if self.pending.contains(&entry.seq) {
+                    if self.slots[entry.slot as usize].generation == entry.generation {
                         return Some(entry.time);
                     }
                     // Sweep the cancelled entry and keep looking.
@@ -143,18 +203,28 @@ impl<E> EventQueue<E> {
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.pending
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.pending == 0
     }
 
     /// Removes every pending event.
+    ///
+    /// Slots are freed with a generation bump rather than dropped, so
+    /// handles issued before the `clear` can never cancel events scheduled
+    /// after it (slot reuse would otherwise alias stale handles).
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if slot.payload.take().is_some() {
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(index as u32);
+            }
+        }
+        self.pending = 0;
     }
 }
 
@@ -205,7 +275,45 @@ mod tests {
     #[test]
     fn cancel_unknown_handle_is_false() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(!q.cancel(EventHandle(42)));
+        assert!(!q.cancel(EventHandle::dangling()));
+    }
+
+    #[test]
+    fn recycled_slot_rejects_stale_handle() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        // The next schedule reuses slot 0 with a bumped generation.
+        let b = q.schedule(t(2), "b");
+        assert!(!q.cancel(a), "stale handle must not cancel the new event");
+        assert!(q.cancel(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_through_the_free_list() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..8u64 {
+                q.schedule(t(round * 10 + i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        // Steady-state churn must not grow the slab beyond its peak usage.
+        assert!(q.slots.len() <= 8, "slab grew to {} slots", q.slots.len());
+    }
+
+    #[test]
+    fn clear_invalidates_outstanding_handles() {
+        let mut q = EventQueue::new();
+        let stale = q.schedule(t(1), "before");
+        q.clear();
+        q.schedule(t(2), "after");
+        assert!(
+            !q.cancel(stale),
+            "pre-clear handle must not cancel a post-clear event"
+        );
+        assert_eq!(q.pop().map(|(_, e)| e), Some("after"));
     }
 
     #[test]

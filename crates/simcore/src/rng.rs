@@ -9,10 +9,52 @@
 //! not perturb another (a classic source of accidental non-reproducibility
 //! in event simulations).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
+
+/// The raw generator behind [`SimRng`]: xoshiro256** seeded via SplitMix64.
+///
+/// Implemented in-tree (no `rand` dependency) so the simulation stack builds
+/// offline and the stream is fixed by this repository alone — the same seed
+/// yields the same draws on every platform, toolchain and build.
+#[derive(Debug, Clone)]
+struct Xoshiro256StarStar {
+    state: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed, as recommended by the
+        // xoshiro authors; it guarantees a non-zero state for every seed.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256StarStar {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A seedable random source with the distributions the MFC models need.
 ///
@@ -33,7 +75,7 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256StarStar,
     seed: u64,
 }
 
@@ -41,7 +83,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256StarStar::from_seed(seed),
             seed,
         }
     }
@@ -82,7 +124,14 @@ impl SimRng {
         if low == high {
             return low;
         }
-        self.inner.gen_range(low..high)
+        let draw = low + (high - low) * self.inner.next_f64();
+        // Floating-point rounding can land exactly on `high` for extreme
+        // ranges; keep the half-open contract.
+        if draw >= high {
+            low
+        } else {
+            draw
+        }
     }
 
     /// Draws a uniform integer in `[low, high]` (inclusive).
@@ -92,7 +141,14 @@ impl SimRng {
     /// Panics if `low > high`.
     pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
         assert!(low <= high, "uniform bounds out of order: {low} > {high}");
-        self.inner.gen_range(low..=high)
+        let span = high - low;
+        if span == u64::MAX {
+            return self.inner.next_u64();
+        }
+        // Multiply-shift mapping of a 64-bit draw onto the span (Lemire);
+        // the bias is far below anything the MFC models can observe.
+        let mapped = ((self.inner.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+        low + mapped
     }
 
     /// Draws a `usize` index uniformly in `[0, len)`.
@@ -102,13 +158,19 @@ impl SimRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot draw an index from an empty range");
-        self.inner.gen_range(0..len)
+        self.uniform_u64(0, len as u64 - 1) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.next_f64() < p
     }
 
     /// Draws from an exponential distribution with the given mean.
@@ -118,7 +180,7 @@ impl SimRng {
         if mean <= 0.0 {
             return 0.0;
         }
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.inner.next_f64().max(f64::EPSILON);
         -mean * u.ln()
     }
 
@@ -127,8 +189,8 @@ impl SimRng {
         if std_dev <= 0.0 {
             return mean;
         }
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let u1 = self.inner.next_f64().max(f64::EPSILON);
+        let u2 = self.inner.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         mean + std_dev * z
     }
@@ -159,7 +221,7 @@ impl SimRng {
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
         assert!(x_min > 0.0, "pareto scale must be positive");
         assert!(alpha > 0.0, "pareto shape must be positive");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.inner.next_f64().max(f64::EPSILON);
         x_min / u.powf(1.0 / alpha)
     }
 
@@ -187,7 +249,7 @@ impl SimRng {
         // Partial Fisher-Yates: only the first `count` positions are needed.
         let take = count.min(items.len());
         for i in 0..take {
-            let j = self.inner.gen_range(i..indices.len());
+            let j = i + self.uniform_u64(0, (indices.len() - i) as u64 - 1) as usize;
             indices.swap(i, j);
         }
         indices[..take].iter().map(|&i| items[i].clone()).collect()
@@ -196,7 +258,7 @@ impl SimRng {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.uniform_u64(0, i as u64) as usize;
             items.swap(i, j);
         }
     }
@@ -222,10 +284,9 @@ impl SimRng {
         &items[items.len() - 1].0
     }
 
-    /// Exposes the underlying [`Rng`] for the rare caller that needs a raw
-    /// draw (e.g. property tests interoperating with `proptest`).
-    pub fn raw(&mut self) -> &mut impl Rng {
-        &mut self.inner
+    /// Draws one raw 64-bit value from the underlying generator.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
     }
 }
 
@@ -372,6 +433,9 @@ mod tests {
         let n = 5_000;
         let total: SimDuration = (0..n).map(|_| rng.exponential_duration(mean)).sum();
         let observed = total.as_millis_f64() / n as f64;
-        assert!((observed - 100.0).abs() < 10.0, "observed mean {observed}ms");
+        assert!(
+            (observed - 100.0).abs() < 10.0,
+            "observed mean {observed}ms"
+        );
     }
 }

@@ -29,20 +29,35 @@ use crate::time::SimTime;
 /// assert_eq!(percentile(&[], 0.5), None);
 /// ```
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    let mut scratch = values.to_vec();
+    percentile_mut(&mut scratch, q)
+}
+
+/// [`percentile`] over a caller-owned scratch buffer.
+///
+/// Computes the quantile by *selection* (`select_nth_unstable`) instead of a
+/// full sort — O(n) rather than O(n log n) — reordering `values` in the
+/// process.  Callers that need several quantiles of the same sample can
+/// reuse one buffer across calls (see [`Summary::from_values`]); repeated
+/// selection on an already-partitioned buffer is nearly free.
+pub fn percentile_mut(values: &mut [f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
     let q = q.clamp(0.0, 1.0);
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    let rank = q * (sorted.len() - 1) as f64;
+    let rank = q * (values.len() - 1) as f64;
     let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    if lo == hi {
-        return Some(sorted[lo]);
-    }
     let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN in percentile input");
+    let (_, lo_value, above) = values.select_nth_unstable_by(lo, cmp);
+    let lo_value = *lo_value;
+    if frac == 0.0 {
+        return Some(lo_value);
+    }
+    // The rank straddles two order statistics; the (lo+1)-th is the minimum
+    // of the partition above the pivot.
+    let hi_value = above.iter().copied().fold(f64::INFINITY, f64::min);
+    Some(lo_value * (1.0 - frac) + hi_value * frac)
 }
 
 /// Returns the median of `values`, or `None` for an empty slice.
@@ -106,14 +121,16 @@ impl Summary {
             min = min.min(v);
             max = max.max(v);
         }
+        // One scratch buffer for all three selection-based quantiles.
+        let mut scratch = values.to_vec();
         Some(Summary {
             count: values.len(),
             min,
             max,
             mean: mean_v,
-            median: median(values)?,
-            p90: percentile(values, 0.90)?,
-            p99: percentile(values, 0.99)?,
+            median: percentile_mut(&mut scratch, 0.5)?,
+            p90: percentile_mut(&mut scratch, 0.90)?,
+            p99: percentile_mut(&mut scratch, 0.99)?,
             std_dev: var.sqrt(),
         })
     }

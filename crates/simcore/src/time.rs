@@ -96,9 +96,27 @@ impl SimDuration {
     }
 
     /// Multiplies the duration by a non-negative floating point factor,
-    /// saturating at zero for negative or non-finite factors.
+    /// saturating at zero for negative factors and at `u64::MAX`
+    /// microseconds for overflowing or infinite products.
+    ///
+    /// The product is computed on the integer microsecond count directly.
+    /// The earlier implementation round-tripped through `f64` *seconds*
+    /// (`micros / 1e6 * factor * 1e6`), whose division-then-multiplication
+    /// loses integer exactness for large durations; a single
+    /// `micros × factor` rounding step keeps every product that is exactly
+    /// representable (e.g. any duration × 0.5) exact.
     pub fn mul_f64(self, factor: f64) -> Self {
-        Self::from_secs_f64(self.as_secs_f64() * factor)
+        if factor.is_nan() || factor <= 0.0 {
+            // Negative, zero or NaN factors all saturate to zero.
+            return SimDuration::ZERO;
+        }
+        let product = (self.micros as f64) * factor;
+        if product >= u64::MAX as f64 {
+            return SimDuration { micros: u64::MAX };
+        }
+        SimDuration {
+            micros: product.round() as u64,
+        }
     }
 
     /// Saturating subtraction: returns zero instead of underflowing.
@@ -216,9 +234,7 @@ impl Sum for SimDuration {
 /// assert_eq!(later - start, SimDuration::from_secs(10));
 /// assert!(later > start);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime {
     micros: u64,
 }
@@ -385,6 +401,27 @@ mod tests {
         assert_eq!(t1.max(t0), t1);
         assert_eq!(t1.min(t0), t0);
         assert_eq!((t1 - SimDuration::from_secs(1)).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn mul_f64_is_exact_on_integer_micros() {
+        // 3 hours in micros is above 2^33: the old seconds round trip
+        // (micros/1e6*factor*1e6) drifts here, the direct product must not.
+        let big = SimDuration::from_secs(3 * 3600);
+        assert_eq!(big.mul_f64(0.5), SimDuration::from_secs(3 * 1800));
+        assert_eq!(big.mul_f64(1.0), big);
+        assert_eq!(big.mul_f64(2.0), big * 2);
+        // ~50 days, near the precision edge of the old path.
+        let huge = SimDuration::from_micros(4_398_046_511_103);
+        assert_eq!(huge.mul_f64(1.0), huge);
+        // Saturation instead of wrap/UB.
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX).mul_f64(2.0).as_micros(),
+            u64::MAX
+        );
+        assert_eq!(big.mul_f64(f64::INFINITY).as_micros(), u64::MAX);
+        assert_eq!(big.mul_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(big.mul_f64(-1.0), SimDuration::ZERO);
     }
 
     #[test]

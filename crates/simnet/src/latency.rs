@@ -145,22 +145,16 @@ impl WideAreaModel {
         let mu_coord = profile.rtt_coordinator_median.as_secs_f64().max(1e-6).ln();
         let mu_down = profile.downlink_median.max(1.0).ln();
         for index in 0..count {
-            let rtt_target = SimDuration::from_secs_f64(
-                gen_rng
-                    .log_normal(mu_rtt, profile.rtt_sigma)
-                    .clamp(
-                        profile.rtt_floor.as_secs_f64(),
-                        profile.rtt_ceiling.as_secs_f64(),
-                    ),
-            );
-            let rtt_coordinator = SimDuration::from_secs_f64(
-                gen_rng
-                    .log_normal(mu_coord, profile.rtt_sigma)
-                    .clamp(
-                        profile.rtt_floor.as_secs_f64(),
-                        profile.rtt_ceiling.as_secs_f64(),
-                    ),
-            );
+            let rtt_target =
+                SimDuration::from_secs_f64(gen_rng.log_normal(mu_rtt, profile.rtt_sigma).clamp(
+                    profile.rtt_floor.as_secs_f64(),
+                    profile.rtt_ceiling.as_secs_f64(),
+                ));
+            let rtt_coordinator =
+                SimDuration::from_secs_f64(gen_rng.log_normal(mu_coord, profile.rtt_sigma).clamp(
+                    profile.rtt_floor.as_secs_f64(),
+                    profile.rtt_ceiling.as_secs_f64(),
+                ));
             let downlink = gen_rng.log_normal(mu_down, profile.downlink_sigma);
             clients.push(ClientNetProfile {
                 index,
@@ -203,7 +197,12 @@ impl WideAreaModel {
         }
         let factor = self
             .rng
-            .normal_clamped(1.0, jitter_frac, 1.0 - 3.0 * jitter_frac, 1.0 + 3.0 * jitter_frac)
+            .normal_clamped(
+                1.0,
+                jitter_frac,
+                1.0 - 3.0 * jitter_frac,
+                1.0 + 3.0 * jitter_frac,
+            )
             .max(0.2);
         mean.mul_f64(factor)
     }
@@ -272,18 +271,8 @@ mod tests {
     #[test]
     fn population_is_heterogeneous() {
         let wan = model(100);
-        let min = wan
-            .clients()
-            .iter()
-            .map(|c| c.rtt_target)
-            .min()
-            .unwrap();
-        let max = wan
-            .clients()
-            .iter()
-            .map(|c| c.rtt_target)
-            .max()
-            .unwrap();
+        let min = wan.clients().iter().map(|c| c.rtt_target).min().unwrap();
+        let max = wan.clients().iter().map(|c| c.rtt_target).max().unwrap();
         // The wide-area population must span a meaningful RTT range — that
         // heterogeneity is exactly what the synchronization scheduler exists
         // to compensate for.
@@ -321,7 +310,10 @@ mod tests {
         let mut wan = model(5);
         let mean = SimDuration::from_millis(42);
         assert_eq!(wan.jittered_delay(mean, 0.0), mean);
-        assert_eq!(wan.jittered_delay(SimDuration::ZERO, 0.5), SimDuration::ZERO);
+        assert_eq!(
+            wan.jittered_delay(SimDuration::ZERO, 0.5),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! flow would finish if nothing changes, and [`FluidLink::advance`] drains
 //! the appropriate number of bytes from every flow up to a given time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mfc_simcore::{SimDuration, SimTime};
 
@@ -56,7 +56,12 @@ struct Flow {
 #[derive(Debug, Clone)]
 pub struct FluidLink {
     capacity: Bandwidth,
-    flows: HashMap<FlowId, Flow>,
+    // A BTreeMap, not a HashMap: rate sums and per-flow drains accumulate
+    // floats in iteration order, and `HashMap`'s per-process random order
+    // makes the last ulp of utilization numbers differ between runs of the
+    // same seed.  Ordered iteration keeps every artifact byte-stable (and
+    // drops sip-hashing from the per-event hot path as a bonus).
+    flows: BTreeMap<FlowId, Flow>,
     last_advance: SimTime,
     bytes_transferred: f64,
 }
@@ -71,7 +76,7 @@ impl FluidLink {
         assert!(capacity > 0.0, "link capacity must be positive");
         FluidLink {
             capacity,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_advance: SimTime::ZERO,
             bytes_transferred: 0.0,
         }
@@ -294,9 +299,7 @@ mod tests {
         for i in 0..10 {
             link.start_flow(FlowId(i), 1_000_000.0, 500_000.0, t(0.0));
         }
-        let total: f64 = (0..10)
-            .map(|i| link.current_rate(FlowId(i)).unwrap())
-            .sum();
+        let total: f64 = (0..10).map(|i| link.current_rate(FlowId(i)).unwrap()).sum();
         // 10 flows capped at 0.5 MB/s could use 5 MB/s but the link only has
         // 1 MB/s: the allocation must fill the link exactly.
         assert!((total - 1_000_000.0).abs() < 1e-6);

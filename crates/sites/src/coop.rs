@@ -69,8 +69,7 @@ impl CoopSite {
                 // A large database-backed commercial site: a dynamically
                 // generated portal page, many distinct small queries and a
                 // few large downloadable assets.
-                let base =
-                    ObjectSpec::static_object("/index.html", ObjectKind::Text, 60 * 1024);
+                let base = ObjectSpec::static_object("/index.html", ObjectKind::Text, 60 * 1024);
                 let mut objects = Vec::new();
                 for i in 0..128 {
                     objects.push(ObjectSpec::query(

@@ -324,8 +324,7 @@ mod tests {
     fn bandwidth_is_less_rank_correlated_than_cpu() {
         let bw = |spec: &SimTargetSpec| spec.server.access_link;
         let cpu = |spec: &SimTargetSpec| spec.server.workers.per_request_cpu;
-        let bw_ratio =
-            mean_of(SiteClass::Top1K, 80, bw) / mean_of(SiteClass::Rank100KTo1M, 80, bw);
+        let bw_ratio = mean_of(SiteClass::Top1K, 80, bw) / mean_of(SiteClass::Rank100KTo1M, 80, bw);
         let cpu_ratio =
             mean_of(SiteClass::Rank100KTo1M, 80, cpu) / mean_of(SiteClass::Top1K, 80, cpu);
         // Both favour the top class, but the CPU gap must be wider than the

@@ -11,6 +11,7 @@
 use mfc_core::backend::sim::SimBackend;
 use mfc_core::config::MfcConfig;
 use mfc_core::coordinator::Coordinator;
+use mfc_core::runner::TrialRunner;
 use mfc_core::types::{Stage, StageOutcome};
 use mfc_simcore::SimRng;
 use serde::{Deserialize, Serialize};
@@ -188,24 +189,44 @@ impl SurveyResult {
 
 /// Runs one survey: probe `config.sites` freshly generated sites of `class`
 /// with the configured MFC stage and bucket their stopping crowd sizes.
+///
+/// Sites are probed in parallel on [`TrialRunner::from_env`] (`MFC_THREADS`
+/// workers); the result is bit-identical to a serial run.
 pub fn run_survey(class: SiteClass, config: &SurveyConfig) -> SurveyResult {
-    let mut site_rng = SimRng::seed_from(config.seed).fork("sites");
-    let mut bucket_counts = vec![0usize; StoppingBucket::ALL.len()];
-    let mut outcomes = Vec::with_capacity(config.sites);
+    run_survey_with(class, config, &TrialRunner::from_env())
+}
 
-    for site_index in 0..config.sites {
-        let spec = class.generate_site(site_index as u64, &mut site_rng);
+/// [`run_survey`] on an explicit [`TrialRunner`] — the determinism tests
+/// compare a serial and a many-threaded runner on the same config.
+pub fn run_survey_with(
+    class: SiteClass,
+    config: &SurveyConfig,
+    runner: &TrialRunner,
+) -> SurveyResult {
+    // Site generation consumes a single shared RNG stream, so it stays a
+    // serial loop; each generated spec is then an independent trial.
+    let mut site_rng = SimRng::seed_from(config.seed).fork("sites");
+    let specs: Vec<_> = (0..config.sites)
+        .map(|site_index| class.generate_site(site_index as u64, &mut site_rng))
+        .collect();
+
+    let raw_outcomes = runner.run(specs, |site_index, spec| {
         let mut backend = SimBackend::new(spec, config.clients, config.seed ^ site_index as u64);
-        let coordinator =
-            Coordinator::new(config.mfc.clone()).with_seed(config.seed.wrapping_add(site_index as u64));
-        let outcome = match coordinator.run(&mut backend) {
+        let coordinator = Coordinator::new(config.mfc.clone())
+            .with_seed(config.seed.wrapping_add(site_index as u64));
+        match coordinator.run(&mut backend) {
             Ok(report) => report
                 .stages
                 .first()
                 .map(|s| s.outcome)
                 .unwrap_or(StageOutcome::Skipped),
             Err(_) => StageOutcome::Skipped,
-        };
+        }
+    });
+
+    let mut bucket_counts = vec![0usize; StoppingBucket::ALL.len()];
+    let mut outcomes = Vec::with_capacity(config.sites);
+    for outcome in raw_outcomes {
         let bucket = StoppingBucket::from_outcome(outcome);
         let bucket_index = StoppingBucket::ALL
             .iter()

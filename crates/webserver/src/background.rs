@@ -121,7 +121,7 @@ impl BackgroundTraffic {
             // An exponential draw of exactly zero would stall the loop; the
             // distribution makes this vanishingly rare but guard anyway.
             let gap = gap.max(SimDuration::from_micros(1));
-            t = t + gap;
+            t += gap;
             if t >= end {
                 break;
             }
@@ -219,8 +219,7 @@ mod tests {
         let catalog = ContentCatalog::typical_site(1);
         let (start, end) = window();
         let mut rng = SimRng::seed_from(2);
-        let arrivals =
-            BackgroundTraffic::at_rate(10.0).generate(&catalog, start, end, 0, &mut rng);
+        let arrivals = BackgroundTraffic::at_rate(10.0).generate(&catalog, start, end, 0, &mut rng);
         let expected = 10.0 * 120.0;
         let n = arrivals.len() as f64;
         assert!((n - expected).abs() < expected * 0.2, "got {n} arrivals");
@@ -235,7 +234,9 @@ mod tests {
         for pair in arrivals.windows(2) {
             assert!(pair[0].arrival <= pair[1].arrival);
         }
-        assert!(arrivals.iter().all(|r| r.arrival >= start && r.arrival < end));
+        assert!(arrivals
+            .iter()
+            .all(|r| r.arrival >= start && r.arrival < end));
     }
 
     #[test]
@@ -257,8 +258,7 @@ mod tests {
         let catalog = ContentCatalog::typical_site(1);
         let (start, end) = window();
         let mut rng = SimRng::seed_from(5);
-        let arrivals =
-            BackgroundTraffic::at_rate(8.0).generate(&catalog, start, end, 0, &mut rng);
+        let arrivals = BackgroundTraffic::at_rate(8.0).generate(&catalog, start, end, 0, &mut rng);
         for r in &arrivals {
             assert!(
                 catalog.lookup(&r.path).is_some(),
@@ -273,8 +273,7 @@ mod tests {
         let catalog = ContentCatalog::typical_site(1);
         let (start, end) = window();
         let mut rng = SimRng::seed_from(6);
-        let arrivals =
-            BackgroundTraffic::at_rate(20.0).generate(&catalog, start, end, 0, &mut rng);
+        let arrivals = BackgroundTraffic::at_rate(20.0).generate(&catalog, start, end, 0, &mut rng);
         let dynamic = arrivals
             .iter()
             .filter(|r| r.class == RequestClass::Dynamic)

@@ -231,7 +231,10 @@ mod tests {
         let result = cluster.run(requests);
         let ids: Vec<u64> = result.outcomes.iter().map(|o| o.id).collect();
         assert_eq!(ids, (0..20).collect::<Vec<u64>>());
-        assert!(result.outcomes.iter().all(|o| o.status == RequestStatus::Ok));
+        assert!(result
+            .outcomes
+            .iter()
+            .all(|o| o.status == RequestStatus::Ok));
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl ContentCatalog {
 
     /// Objects that qualify for the Large Object stage.
     pub fn large_objects(&self) -> Vec<&ObjectSpec> {
-        self.objects.iter().filter(|o| o.is_large_object()).collect()
+        self.objects
+            .iter()
+            .filter(|o| o.is_large_object())
+            .collect()
     }
 
     /// Objects that qualify for the Small Query stage.

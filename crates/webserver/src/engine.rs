@@ -245,7 +245,8 @@ impl<'a> Sim<'a> {
     }
 
     fn run(&mut self) {
-        self.memory_series.set(self.start, self.memory.used() as f64);
+        self.memory_series
+            .set(self.start, self.memory.used() as f64);
         while let Some((time, event)) = self.queue.pop() {
             self.now = self.now.max(time);
             match event {
@@ -308,16 +309,12 @@ impl<'a> Sim<'a> {
         } else {
             0.0
         };
-        let work =
-            (self.config.workers.per_request_cpu + base_page_cost) * self.memory.slowdown();
+        let work = (self.config.workers.per_request_cpu + base_page_cost) * self.memory.slowdown();
         self.cpu.add_task(idx as u64, work, self.now);
     }
 
     fn on_cpu_check(&mut self) {
-        loop {
-            let Some((time, id)) = self.cpu.next_completion(self.now) else {
-                break;
-            };
+        while let Some((time, id)) = self.cpu.next_completion(self.now) {
             if time > self.now {
                 break;
             }
@@ -358,11 +355,9 @@ impl<'a> Sim<'a> {
                 } else {
                     let service_secs = self.config.hardware.disk_seek.as_secs_f64()
                         + size as f64 / self.config.hardware.disk_bandwidth;
-                    let service =
-                        SimDuration::from_secs_f64(service_secs * self.memory.slowdown());
+                    let service = SimDuration::from_secs_f64(service_secs * self.memory.slowdown());
                     let delay = self.disk.enqueue(idx as u64, self.now, service);
-                    self.queue
-                        .schedule(self.now + delay, Event::DiskDone(idx));
+                    self.queue.schedule(self.now + delay, Event::DiskDone(idx));
                 }
             }
             RequestClass::Dynamic => {
@@ -487,18 +482,14 @@ impl<'a> Sim<'a> {
     }
 
     fn on_net_check(&mut self) {
-        loop {
-            let Some((time, flow)) = self.net.next_completion(self.now) else {
-                break;
-            };
+        while let Some((time, flow)) = self.net.next_completion(self.now) {
             if time > self.now {
                 break;
             }
             self.net.finish_flow(flow, self.now);
             let idx = flow.0 as usize;
             let inflight = &self.requests[idx];
-            let completion =
-                self.now + inflight.slow_start + inflight.req.client_rtt.mul_f64(0.5);
+            let completion = self.now + inflight.slow_start + inflight.req.client_rtt.mul_f64(0.5);
             let bytes = inflight.body_bytes;
             self.release_worker(idx);
             self.complete(idx, RequestStatus::Ok, completion, bytes);
@@ -605,7 +596,7 @@ impl<'a> Sim<'a> {
         };
         let mut outcomes = Vec::with_capacity(self.requests.len());
         for inflight in &mut self.requests {
-            let outcome = inflight.outcome.take().unwrap_or_else(|| RequestOutcome {
+            let outcome = inflight.outcome.take().unwrap_or(RequestOutcome {
                 id: inflight.req.id,
                 arrival: inflight.req.arrival,
                 status: RequestStatus::Refused,
@@ -887,7 +878,11 @@ mod tests {
         let engine = lab_engine();
         let mut cache = CacheState::new();
         let result = engine.run(
-            vec![head_request(30, 5), head_request(10, 1), head_request(20, 3)],
+            vec![
+                head_request(30, 5),
+                head_request(10, 1),
+                head_request(20, 3),
+            ],
             &mut cache,
         );
         let ids: Vec<u64> = result.outcomes.iter().map(|o| o.id).collect();

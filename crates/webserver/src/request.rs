@@ -196,7 +196,10 @@ mod tests {
         arrivals.push(t(0));
         arrivals.push(t(5_000));
         let spread90 = central_spread(&arrivals, 0.9).unwrap();
-        assert!(spread90 <= SimDuration::from_millis(20), "spread {spread90}");
+        assert!(
+            spread90 <= SimDuration::from_millis(20),
+            "spread {spread90}"
+        );
         let spread100 = central_spread(&arrivals, 1.0).unwrap();
         assert_eq!(spread100, SimDuration::from_millis(5_000));
     }

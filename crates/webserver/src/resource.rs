@@ -65,7 +65,8 @@ impl PsResource {
         );
         let flow = FlowId(self.next_flow);
         self.next_flow += 1;
-        self.link.start_flow(flow, work.max(0.0), self.per_task_cap, now);
+        self.link
+            .start_flow(flow, work.max(0.0), self.per_task_cap, now);
         self.tasks.insert(id, flow);
     }
 

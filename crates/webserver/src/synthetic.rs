@@ -150,9 +150,8 @@ impl SyntheticServer {
                 })
                 .count();
             let n = crowd_members + still_pending;
-            let latency = self.base_service
-                + self.model.added_delay(n)
-                + req.client_rtt.mul_f64(0.5);
+            let latency =
+                self.base_service + self.model.added_delay(n) + req.client_rtt.mul_f64(0.5);
             let completion = req.arrival + latency;
             completions.push((req.arrival, completion));
             outcomes[idx] = Some(RequestOutcome {
@@ -206,8 +205,8 @@ mod tests {
         for crowd in [1usize, 10, 30, 60] {
             let outcomes = server.run((0..crowd as u64).map(|i| req(i, 0)).collect());
             let max = outcomes.iter().map(|o| o.latency()).max().unwrap();
-            let expected = SimDuration::from_millis(10)
-                + SimDuration::from_millis_f64(4.0 * crowd as f64);
+            let expected =
+                SimDuration::from_millis(10) + SimDuration::from_millis_f64(4.0 * crowd as f64);
             assert_eq!(max, expected, "crowd {crowd}");
         }
     }
@@ -251,7 +250,9 @@ mod tests {
             },
         );
         let below = server.run((0..10).map(|i| req(i, 0)).collect());
-        assert!(below.iter().all(|o| o.latency() == SimDuration::from_millis(5)));
+        assert!(below
+            .iter()
+            .all(|o| o.latency() == SimDuration::from_millis(5)));
         let above = server.run((0..30).map(|i| req(i, 0)).collect());
         assert!(above
             .iter()

@@ -41,12 +41,8 @@ fn main() {
 
     // Deployment B: the same server configuration replicated 16× behind a
     // load balancer, serving the same content and the same background load.
-    let clustered = SimTargetSpec::cluster(
-        single.server.clone(),
-        single.catalog.clone(),
-        16,
-    )
-    .with_background(BackgroundTraffic::at_rate(0.5));
+    let clustered = SimTargetSpec::cluster(single.server.clone(), single.catalog.clone(), 16)
+        .with_background(BackgroundTraffic::at_rate(0.5));
 
     let report_single = profile("single front end", single);
     let report_cluster = profile("16-replica load-balanced cluster", clustered);

@@ -21,10 +21,8 @@ fn main() {
     //    FastCGI dynamic handler, MySQL-like back end, 10 Mbit/s uplink)
     //    hosting the lab validation content (a 100 KB object and a small
     //    database query).
-    let target = SimTargetSpec::single_server(
-        ServerConfig::lab_apache(),
-        ContentCatalog::lab_validation(),
-    );
+    let target =
+        SimTargetSpec::single_server(ServerConfig::lab_apache(), ContentCatalog::lab_validation());
 
     // 2. Stand up the simulated wide area: 65 PlanetLab-like clients with
     //    heterogeneous RTTs and access links, a lossy UDP control plane and

@@ -29,8 +29,14 @@ fn qtnp_base_stops_before_small_query_and_bandwidth_never_stops() {
     let large = report.stopping_crowd(Stage::LargeObject);
 
     assert!(base.is_some(), "QTNP's Base stage must show a constraint");
-    assert!(query.is_some(), "QTNP's Small Query stage must show a constraint");
-    assert_eq!(large, None, "QTNP's access link must absorb every tested crowd");
+    assert!(
+        query.is_some(),
+        "QTNP's Small Query stage must show a constraint"
+    );
+    assert_eq!(
+        large, None,
+        "QTNP's access link must absorb every tested crowd"
+    );
     assert!(
         base.unwrap() <= query.unwrap(),
         "the surprising QTNP result: Base ({:?}) degrades at or before Small Query ({:?})",
@@ -39,7 +45,10 @@ fn qtnp_base_stops_before_small_query_and_bandwidth_never_stops() {
     );
     // §6: a back end that stops below 50 while bandwidth never does means
     // high exposure to cheap application-level attacks.
-    assert_eq!(report.inference.ddos_exposure, DdosExposure::HighBackendExposure);
+    assert_eq!(
+        report.inference.ddos_exposure,
+        DdosExposure::HighBackendExposure
+    );
 }
 
 #[test]
@@ -67,8 +76,14 @@ fn univ1_is_poorly_provisioned_across_the_board() {
     let query = report
         .stopping_crowd(Stage::SmallQuery)
         .expect("Univ-1 Small Query must stop");
-    assert!(base <= 30, "Univ-1 base processing is weak (stopped at {base})");
-    assert!(query <= 30, "Univ-1 query handling is weak (stopped at {query})");
+    assert!(
+        base <= 30,
+        "Univ-1 base processing is weak (stopped at {base})"
+    );
+    assert!(
+        query <= 30,
+        "Univ-1 query handling is weak (stopped at {query})"
+    );
 }
 
 #[test]
@@ -88,7 +103,10 @@ fn univ3_queries_collapse_but_bandwidth_holds() {
     );
     // The Base stage must be meaningfully healthier than the query path.
     if let Some(base) = report.stopping_crowd(Stage::Base) {
-        assert!(base >= query, "base processing ({base}) should outlast queries ({query})");
+        assert!(
+            base >= query,
+            "base processing ({base}) should outlast queries ({query})"
+        );
     }
 }
 

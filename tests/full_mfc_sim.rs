@@ -10,17 +10,17 @@ use mfc_simcore::SimDuration;
 use mfc_webserver::{BackgroundTraffic, ContentCatalog, ServerConfig};
 
 fn lab_target() -> SimTargetSpec {
-    SimTargetSpec::single_server(
-        ServerConfig::lab_apache(),
-        ContentCatalog::lab_validation(),
-    )
+    SimTargetSpec::single_server(ServerConfig::lab_apache(), ContentCatalog::lab_validation())
 }
 
 #[test]
 fn full_three_stage_experiment_produces_coherent_report() {
     let mut backend = SimBackend::new(lab_target(), 60, 101);
     let config = MfcConfig::standard().with_max_crowd(40).with_increment(10);
-    let report = Coordinator::new(config).with_seed(1).run(&mut backend).unwrap();
+    let report = Coordinator::new(config)
+        .with_seed(1)
+        .run(&mut backend)
+        .unwrap();
 
     assert_eq!(report.stages.len(), 3);
     assert_eq!(report.clients_registered, 60);
@@ -57,7 +57,10 @@ fn lab_server_bottleneck_ordering_is_bandwidth_then_backend() {
     // end next, and plain HEAD handling the healthiest.
     let mut backend = SimBackend::new(lab_target(), 60, 7);
     let config = MfcConfig::standard().with_max_crowd(50).with_increment(5);
-    let report = Coordinator::new(config).with_seed(5).run(&mut backend).unwrap();
+    let report = Coordinator::new(config)
+        .with_seed(5)
+        .run(&mut backend)
+        .unwrap();
 
     let large = report.stopping_crowd(Stage::LargeObject);
     let base = report.stopping_crowd(Stage::Base);
@@ -82,7 +85,13 @@ fn experiment_aborts_without_enough_clients() {
     let err = Coordinator::new(MfcConfig::standard())
         .run(&mut backend)
         .unwrap_err();
-    assert!(matches!(err, MfcError::NotEnoughClients { available: 30, required: 50 }));
+    assert!(matches!(
+        err,
+        MfcError::NotEnoughClients {
+            available: 30,
+            required: 50
+        }
+    ));
 }
 
 #[test]
@@ -116,7 +125,10 @@ fn well_provisioned_cluster_shows_no_constraints() {
     .with_background(BackgroundTraffic::at_rate(50.0));
     let mut backend = SimBackend::new(spec, 60, 19);
     let config = MfcConfig::standard().with_max_crowd(40).with_increment(10);
-    let report = Coordinator::new(config).with_seed(2).run(&mut backend).unwrap();
+    let report = Coordinator::new(config)
+        .with_seed(2)
+        .run(&mut backend)
+        .unwrap();
     for stage in &report.stages {
         assert!(
             stage.outcome.is_no_stop(),

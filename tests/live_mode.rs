@@ -68,7 +68,7 @@ fn live_probe_measures_real_requests() {
     let mut backend = live_backend(&handle, 12);
     let coordinator = Coordinator::new(
         MfcConfig::standard()
-        .with_schedule_lead(mfc_simcore::SimDuration::from_millis(300))
+            .with_schedule_lead(mfc_simcore::SimDuration::from_millis(300))
             .with_min_clients(5)
             .with_threshold(SimDuration::from_millis(50)),
     );
@@ -77,7 +77,10 @@ fn live_probe_measures_real_requests() {
         .expect("enough live clients");
     assert_eq!(summary.crowd_size, 10);
     assert_eq!(observation.observations.len(), 10);
-    assert!(observation.observations.iter().all(|o| o.status.produced_sample()));
+    assert!(observation
+        .observations
+        .iter()
+        .all(|o| o.status.produced_sample()));
     // The server actually saw those requests (plus profiling traffic).
     assert!(handle.stats().requests.load(Ordering::SeqCst) >= 10);
     handle.shutdown();

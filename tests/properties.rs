@@ -1,97 +1,254 @@
-//! Cross-crate property-based tests.
+//! Cross-crate randomized property tests.
 //!
 //! These exercise the invariants the MFC inferences lean on: order
 //! statistics, fluid fair sharing, the synchronization arithmetic, HTTP
-//! message round-trips and the monotonicity of the server model under
-//! load.  Each property is phrased over randomly generated inputs via
-//! `proptest`.
+//! message round-trips and the monotonicity of the server model under load.
+//! Each property runs over inputs generated from a seeded [`SimRng`], so the
+//! cases are random-looking but fully reproducible (the offline build has no
+//! `proptest`; a failing case can be replayed from its loop index alone).
+
+use std::io::BufReader;
 
 use mfc_core::sync::{send_offset, ClientLatency, SyncScheduler};
 use mfc_core::types::ClientId;
 use mfc_http::{Method, Request, Response, StatusCode, Url};
 use mfc_simcore::stats::{median, percentile};
-use mfc_simcore::{EventQueue, SimDuration, SimTime};
+use mfc_simcore::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
 use mfc_simnet::{FlowId, FluidLink, TcpModel};
 use mfc_webserver::{
     CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
 };
-use proptest::prelude::*;
-use std::io::BufReader;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    // ---------------------------------------------------------------
-    // Order statistics (the MFC detector).
-    // ---------------------------------------------------------------
+fn values_vec(rng: &mut SimRng, max_len: usize, high: f64) -> Vec<f64> {
+    let len = rng.index(max_len) + 1;
+    (0..len).map(|_| rng.uniform(0.0, high)).collect()
+}
 
-    #[test]
-    fn percentile_is_bounded_by_min_and_max(
-        values in proptest::collection::vec(0.0f64..1e6, 1..200),
-        q in 0.0f64..=1.0,
-    ) {
+// -------------------------------------------------------------------
+// Order statistics (the MFC detector).
+// -------------------------------------------------------------------
+
+#[test]
+fn percentile_is_bounded_by_min_and_max() {
+    let mut rng = SimRng::seed_from(0x0501);
+    for _ in 0..CASES {
+        let values = values_vec(&mut rng, 200, 1e6);
+        let q = rng.uniform(0.0, 1.0);
         let p = percentile(&values, q).unwrap();
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+        assert!(
+            p >= min - 1e-9 && p <= max + 1e-9,
+            "p={p} not in [{min}, {max}]"
+        );
     }
+}
 
-    #[test]
-    fn percentile_is_monotone_in_the_quantile(
-        values in proptest::collection::vec(0.0f64..1e6, 1..200),
-        q1 in 0.0f64..=1.0,
-        q2 in 0.0f64..=1.0,
-    ) {
+#[test]
+fn percentile_is_monotone_in_the_quantile() {
+    let mut rng = SimRng::seed_from(0x0502);
+    for _ in 0..CASES {
+        let values = values_vec(&mut rng, 200, 1e6);
+        let q1 = rng.uniform(0.0, 1.0);
+        let q2 = rng.uniform(0.0, 1.0);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(percentile(&values, lo).unwrap() <= percentile(&values, hi).unwrap() + 1e-9);
+        assert!(percentile(&values, lo).unwrap() <= percentile(&values, hi).unwrap() + 1e-9);
     }
+}
 
-    #[test]
-    fn median_is_invariant_under_permutation(
-        mut values in proptest::collection::vec(0.0f64..1e6, 1..100),
-    ) {
+#[test]
+fn median_is_invariant_under_permutation() {
+    let mut rng = SimRng::seed_from(0x0503);
+    for _ in 0..CASES {
+        let mut values = values_vec(&mut rng, 100, 1e6);
         let original = median(&values).unwrap();
         values.reverse();
-        prop_assert_eq!(original, median(&values).unwrap());
+        assert_eq!(original, median(&values).unwrap());
+        rng.shuffle(&mut values);
+        assert_eq!(original, median(&values).unwrap());
+    }
+}
+
+// -------------------------------------------------------------------
+// Event queue: the slab-backed queue must behave exactly like a naive
+// reference model under arbitrary schedule/pop/cancel interleavings.
+// -------------------------------------------------------------------
+
+/// The simplest possible future-event list: linear scans over a vector.
+/// Deliberately naive, so its correctness is self-evident.
+struct ReferenceQueue {
+    entries: Vec<(u64, u64, u32, bool)>, // (time, seq, payload, pending)
+    next_seq: u64,
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue {
+            entries: Vec::new(),
+            next_seq: 0,
+        }
     }
 
-    // ---------------------------------------------------------------
-    // Event queue ordering.
-    // ---------------------------------------------------------------
+    fn schedule(&mut self, time: u64, payload: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((time, seq, payload, true));
+        seq
+    }
 
-    #[test]
-    fn event_queue_pops_in_nondecreasing_time_order(
-        times in proptest::collection::vec(0u64..1_000_000, 1..300),
-    ) {
+    fn cancel(&mut self, seq: u64) -> bool {
+        for entry in &mut self.entries {
+            if entry.1 == seq && entry.3 {
+                entry.3 = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.3)
+            .min_by_key(|(_, e)| (e.0, e.1))
+            .map(|(i, _)| i)?;
+        let entry = self.entries.remove(best);
+        Some((entry.0, entry.2))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.3).count()
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.3)
+            .min_by_key(|e| (e.0, e.1))
+            .map(|e| e.0)
+    }
+}
+
+#[test]
+fn event_queue_matches_reference_model_under_random_interleavings() {
+    let mut rng = SimRng::seed_from(0x0504);
+    for case in 0..CASES {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        let mut live_handles: Vec<(EventHandle, u64)> = Vec::new();
+        let ops = rng.index(300) + 20;
+        for op in 0..ops {
+            match rng.index(10) {
+                // Schedule with a deliberately narrow time range so ties are
+                // common and FIFO ordering is actually exercised.
+                0..=4 => {
+                    let time = rng.uniform_u64(0, 50);
+                    let payload = op as u32;
+                    let handle = queue.schedule(SimTime::from_micros(time), payload);
+                    let seq = reference.schedule(time, payload);
+                    live_handles.push((handle, seq));
+                }
+                5..=6 => {
+                    let popped = queue.pop().map(|(t, p)| (t.as_micros(), p));
+                    assert_eq!(popped, reference.pop(), "case {case} op {op}");
+                }
+                7 => {
+                    assert_eq!(
+                        queue.peek_time().map(|t| t.as_micros()),
+                        reference.peek_time(),
+                        "case {case} op {op}"
+                    );
+                }
+                _ => {
+                    if !live_handles.is_empty() {
+                        let idx = rng.index(live_handles.len());
+                        let (handle, seq) = live_handles[idx];
+                        assert_eq!(
+                            queue.cancel(handle),
+                            reference.cancel(seq),
+                            "case {case} op {op}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(queue.len(), reference.len(), "case {case} op {op}");
+        }
+        // Drain both and compare the full remaining sequence.
+        loop {
+            let a = queue.pop().map(|(t, p)| (t.as_micros(), p));
+            let b = reference.pop();
+            assert_eq!(a, b, "case {case} drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn event_queue_pops_in_nondecreasing_time_order() {
+    let mut rng = SimRng::seed_from(0x0505);
+    for _ in 0..CASES {
+        let count = rng.index(300) + 1;
         let mut queue = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            queue.schedule(SimTime::from_micros(t), i);
+        for i in 0..count {
+            queue.schedule(SimTime::from_micros(rng.uniform_u64(0, 1_000_000)), i);
         }
         let mut last = SimTime::ZERO;
-        let mut count = 0;
+        let mut popped = 0;
         while let Some((time, _)) = queue.pop() {
-            prop_assert!(time >= last);
+            assert!(time >= last);
             last = time;
-            count += 1;
+            popped += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(popped, count);
     }
+}
 
-    // ---------------------------------------------------------------
-    // Fluid link fair sharing.
-    // ---------------------------------------------------------------
+#[test]
+fn event_queue_ties_pop_in_schedule_order_after_cancellations() {
+    let mut rng = SimRng::seed_from(0x0506);
+    for _ in 0..CASES {
+        let count = rng.index(100) + 10;
+        let mut queue = EventQueue::new();
+        let handles: Vec<EventHandle> = (0..count)
+            .map(|i| queue.schedule(SimTime::from_micros(42), i))
+            .collect();
+        let mut expected: Vec<usize> = (0..count).collect();
+        // Cancel a random subset.
+        for (i, handle) in handles.iter().enumerate() {
+            if rng.chance(0.3) {
+                assert!(queue.cancel(*handle));
+                expected.retain(|&e| e != i);
+            }
+        }
+        let drained: Vec<usize> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(drained, expected, "FIFO order must survive cancellation");
+    }
+}
 
-    #[test]
-    fn fluid_link_never_exceeds_capacity_and_conserves_bytes(
-        capacity in 1_000.0f64..1e8,
-        sizes in proptest::collection::vec(1.0f64..1e6, 1..40),
-    ) {
+// -------------------------------------------------------------------
+// Fluid link fair sharing.
+// -------------------------------------------------------------------
+
+#[test]
+fn fluid_link_never_exceeds_capacity_and_conserves_bytes() {
+    let mut rng = SimRng::seed_from(0x0507);
+    for _ in 0..CASES {
+        let capacity = rng.uniform(1_000.0, 1e8);
+        let sizes = values_vec(&mut rng, 40, 1e6)
+            .into_iter()
+            .map(|s| s.max(1.0))
+            .collect::<Vec<f64>>();
         let mut link = FluidLink::new(capacity);
         for (i, &bytes) in sizes.iter().enumerate() {
             link.start_flow(FlowId(i as u64), bytes, f64::INFINITY, SimTime::ZERO);
         }
-        prop_assert!(link.utilization_bytes_per_sec() <= capacity * (1.0 + 1e-9));
-        // Drain the link to completion.
+        assert!(link.utilization_bytes_per_sec() <= capacity * (1.0 + 1e-9));
         let mut remaining = sizes.len();
         let mut guard = 0;
         while remaining > 0 && guard < 10_000 {
@@ -105,100 +262,131 @@ proptest! {
                 remaining -= 1;
             }
         }
-        prop_assert_eq!(remaining, 0, "all flows must eventually finish");
+        assert_eq!(remaining, 0, "all flows must eventually finish");
         let total: f64 = sizes.iter().sum();
-        prop_assert!((link.bytes_transferred() - total).abs() < total * 1e-6 + 1.0);
+        assert!((link.bytes_transferred() - total).abs() < total * 1e-6 + 1.0);
     }
+}
 
-    // ---------------------------------------------------------------
-    // TCP model.
-    // ---------------------------------------------------------------
+// -------------------------------------------------------------------
+// TCP model.
+// -------------------------------------------------------------------
 
-    #[test]
-    fn tcp_transfer_time_is_monotone_in_bytes(
-        bytes_a in 0u64..50_000_000,
-        bytes_b in 0u64..50_000_000,
-        rtt_ms in 1u64..500,
-        rate in 1_000.0f64..1e9,
-    ) {
+#[test]
+fn tcp_transfer_time_is_monotone_in_bytes() {
+    let mut rng = SimRng::seed_from(0x0508);
+    for _ in 0..CASES {
+        let bytes_a = rng.uniform_u64(0, 50_000_000);
+        let bytes_b = rng.uniform_u64(0, 50_000_000);
+        let rtt = SimDuration::from_millis(rng.uniform_u64(1, 499));
+        let rate = rng.uniform(1_000.0, 1e9);
         let tcp = TcpModel::default();
-        let rtt = SimDuration::from_millis(rtt_ms);
-        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
-        prop_assert!(tcp.transfer_time(small, rtt, rate) <= tcp.transfer_time(large, rtt, rate));
+        let (small, large) = if bytes_a <= bytes_b {
+            (bytes_a, bytes_b)
+        } else {
+            (bytes_b, bytes_a)
+        };
+        assert!(tcp.transfer_time(small, rtt, rate) <= tcp.transfer_time(large, rtt, rate));
     }
+}
 
-    // ---------------------------------------------------------------
-    // Synchronization scheduling arithmetic.
-    // ---------------------------------------------------------------
+// -------------------------------------------------------------------
+// Synchronization scheduling arithmetic.
+// -------------------------------------------------------------------
 
-    #[test]
-    fn compensated_commands_arrive_exactly_at_the_lead_when_latencies_hold(
-        coord_ms in proptest::collection::vec(1u64..400, 1..60),
-        target_ms in proptest::collection::vec(1u64..400, 1..60),
-        lead_secs in 2u64..60,
-    ) {
-        let n = coord_ms.len().min(target_ms.len());
+#[test]
+fn compensated_commands_arrive_exactly_at_the_lead_when_latencies_hold() {
+    let mut rng = SimRng::seed_from(0x0509);
+    for _ in 0..CASES {
+        let n = rng.index(60) + 1;
         let latencies: Vec<ClientLatency> = (0..n)
             .map(|i| ClientLatency {
                 client: ClientId(i as u32),
-                coordinator_rtt: SimDuration::from_millis(coord_ms[i]),
-                target_rtt: SimDuration::from_millis(target_ms[i]),
+                coordinator_rtt: SimDuration::from_millis(rng.uniform_u64(1, 399)),
+                target_rtt: SimDuration::from_millis(rng.uniform_u64(1, 399)),
             })
             .collect();
-        let lead = SimDuration::from_secs(lead_secs);
+        let lead = SimDuration::from_secs(rng.uniform_u64(2, 59));
         let scheduler = SyncScheduler::simultaneous(lead);
         for command in scheduler.schedule(&latencies) {
-            let latency = latencies.iter().find(|l| l.client == command.client).unwrap();
-            let compensation = latency.coordinator_rtt.mul_f64(0.5)
-                + latency.target_rtt.mul_f64(1.5);
+            let latency = latencies
+                .iter()
+                .find(|l| l.client == command.client)
+                .unwrap();
+            let compensation =
+                latency.coordinator_rtt.mul_f64(0.5) + latency.target_rtt.mul_f64(1.5);
             // With a lead of at least 2 s and RTTs under 400 ms the offset
             // never saturates, so send + compensation == lead exactly (up to
             // the microsecond rounding of the half-RTT terms).
             let arrival = command.send_offset + compensation;
-            let diff = arrival.saturating_sub(lead).max(lead.saturating_sub(arrival));
-            prop_assert!(diff <= SimDuration::from_micros(2), "diff {diff}");
+            let diff = arrival
+                .saturating_sub(lead)
+                .max(lead.saturating_sub(arrival));
+            assert!(diff <= SimDuration::from_micros(2), "diff {diff}");
         }
     }
+}
 
-    #[test]
-    fn send_offset_never_exceeds_the_intended_arrival(
-        coord_ms in 0u64..2_000,
-        target_ms in 0u64..2_000,
-        lead_ms in 0u64..20_000,
-    ) {
+#[test]
+fn send_offset_never_exceeds_the_intended_arrival() {
+    let mut rng = SimRng::seed_from(0x050a);
+    for _ in 0..CASES {
         let latency = ClientLatency {
             client: ClientId(0),
-            coordinator_rtt: SimDuration::from_millis(coord_ms),
-            target_rtt: SimDuration::from_millis(target_ms),
+            coordinator_rtt: SimDuration::from_millis(rng.uniform_u64(0, 2_000)),
+            target_rtt: SimDuration::from_millis(rng.uniform_u64(0, 2_000)),
         };
-        let lead = SimDuration::from_millis(lead_ms);
-        prop_assert!(send_offset(&latency, lead) <= lead);
+        let lead = SimDuration::from_millis(rng.uniform_u64(0, 20_000));
+        assert!(send_offset(&latency, lead) <= lead);
     }
+}
 
-    // ---------------------------------------------------------------
-    // HTTP wire format round trips.
-    // ---------------------------------------------------------------
+// -------------------------------------------------------------------
+// HTTP wire format round trips.
+// -------------------------------------------------------------------
 
-    #[test]
-    fn http_request_head_round_trips(
-        path in "/[a-z0-9/._-]{0,40}",
-        query in proptest::option::of("[a-z0-9=&]{1,30}"),
-        header_value in "[ -~]{0,60}",
-    ) {
-        let target = match &query {
-            Some(q) => format!("{path}?{q}"),
-            None => path.clone(),
+fn random_token(rng: &mut SimRng, alphabet: &[u8], max_len: usize) -> String {
+    let len = rng.index(max_len + 1);
+    (0..len)
+        .map(|_| alphabet[rng.index(alphabet.len())] as char)
+        .collect()
+}
+
+#[test]
+fn http_request_head_round_trips() {
+    let mut rng = SimRng::seed_from(0x050b);
+    let path_chars = b"abcdefghijklmnopqrstuvwxyz0123456789/._-";
+    let query_chars = b"abcdefghijklmnopqrstuvwxyz0123456789=&";
+    for _ in 0..CASES {
+        let path = format!("/{}", random_token(&mut rng, path_chars, 40));
+        let target = if rng.chance(0.5) {
+            let q = random_token(&mut rng, query_chars, 29);
+            if q.is_empty() {
+                path.clone()
+            } else {
+                format!("{path}?{q}")
+            }
+        } else {
+            path.clone()
         };
-        let target = if target.is_empty() { "/".to_string() } else { target };
+        let header_value: String = (0..rng.index(61))
+            .map(|_| (rng.uniform_u64(0x20, 0x7e) as u8) as char)
+            .collect();
         let request = Request::new(Method::Get, target.clone(), "example.org")
             .with_header("x-prop", header_value.trim());
         let parsed = Request::read_from(&mut BufReader::new(&request.to_bytes()[..])).unwrap();
-        prop_assert_eq!(parsed.target, target);
-        prop_assert_eq!(parsed.method, Method::Get);
+        assert_eq!(parsed.target, target);
+        assert_eq!(parsed.method, Method::Get);
     }
+}
 
-    #[test]
-    fn http_response_body_round_trips(body in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn http_response_body_round_trips() {
+    let mut rng = SimRng::seed_from(0x050c);
+    for _ in 0..CASES {
+        let body: Vec<u8> = (0..rng.index(4096))
+            .map(|_| rng.uniform_u64(0, 255) as u8)
+            .collect();
         let response = Response::new(StatusCode::OK, body.clone());
         let parsed = Response::read_from(
             &mut BufReader::new(&response.to_bytes(false)[..]),
@@ -206,32 +394,43 @@ proptest! {
             1 << 20,
         )
         .unwrap();
-        prop_assert_eq!(parsed.body, body);
-        prop_assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.body, body);
+        assert_eq!(parsed.status, StatusCode::OK);
     }
+}
 
-    #[test]
-    fn url_parse_display_round_trips(
-        host in "[a-z][a-z0-9.-]{0,20}",
-        port in 1u16..,
-        path in "/[a-z0-9/._-]{0,30}",
-    ) {
+#[test]
+fn url_parse_display_round_trips() {
+    let mut rng = SimRng::seed_from(0x050d);
+    let host_chars = b"abcdefghijklmnopqrstuvwxyz0123456789.-";
+    let path_chars = b"abcdefghijklmnopqrstuvwxyz0123456789/._-";
+    for _ in 0..CASES {
+        let host = format!(
+            "{}{}",
+            (b'a' + rng.index(26) as u8) as char,
+            random_token(&mut rng, host_chars, 20)
+        );
+        let port = rng.uniform_u64(1, u16::MAX as u64) as u16;
+        let path = format!("/{}", random_token(&mut rng, path_chars, 30));
         let raw = format!("http://{host}:{port}{path}");
         let url = Url::parse(&raw).unwrap();
         let reparsed = Url::parse(&url.to_string()).unwrap();
-        prop_assert_eq!(url, reparsed);
+        assert_eq!(url, reparsed);
     }
+}
 
-    // ---------------------------------------------------------------
-    // Server engine sanity under arbitrary crowd sizes.
-    // ---------------------------------------------------------------
+// -------------------------------------------------------------------
+// Server engine sanity under arbitrary crowd sizes.
+// -------------------------------------------------------------------
 
-    #[test]
-    fn engine_accounts_for_every_request(crowd in 1usize..60, stagger_us in 0u64..50_000) {
-        let engine = ServerEngine::new(
-            ServerConfig::lab_apache(),
-            ContentCatalog::lab_validation(),
-        );
+#[test]
+fn engine_accounts_for_every_request() {
+    let mut rng = SimRng::seed_from(0x050e);
+    for _ in 0..CASES {
+        let crowd = rng.index(59) + 1;
+        let stagger_us = rng.uniform_u64(0, 49_999);
+        let engine =
+            ServerEngine::new(ServerConfig::lab_apache(), ContentCatalog::lab_validation());
         let mut cache = CacheState::new();
         let requests: Vec<ServerRequest> = (0..crowd)
             .map(|i| ServerRequest {
@@ -245,10 +444,10 @@ proptest! {
             })
             .collect();
         let result = engine.run(requests, &mut cache);
-        prop_assert_eq!(result.outcomes.len(), crowd);
-        prop_assert_eq!(result.arrival_log.len(), crowd);
+        assert_eq!(result.outcomes.len(), crowd);
+        assert_eq!(result.arrival_log.len(), crowd);
         for outcome in &result.outcomes {
-            prop_assert!(outcome.completion >= outcome.arrival);
+            assert!(outcome.completion >= outcome.arrival);
         }
     }
 }

@@ -58,10 +58,8 @@ fn generated_sites_are_probeable_end_to_end() {
 
 #[test]
 fn report_round_trips_through_json() {
-    let spec = SimTargetSpec::single_server(
-        ServerConfig::lab_apache(),
-        ContentCatalog::lab_validation(),
-    );
+    let spec =
+        SimTargetSpec::single_server(ServerConfig::lab_apache(), ContentCatalog::lab_validation());
     let mut backend = SimBackend::new(spec, 55, 13);
     let config = MfcConfig::standard().with_max_crowd(25).with_increment(10);
     let report = Coordinator::new(config).run(&mut backend).unwrap();
@@ -73,6 +71,10 @@ fn report_round_trips_through_json() {
 
     let text = report.render_text();
     for stage in Stage::ALL {
-        assert!(text.contains(stage.name()), "report text must mention {}", stage.name());
+        assert!(
+            text.contains(stage.name()),
+            "report text must mention {}",
+            stage.name()
+        );
     }
 }
