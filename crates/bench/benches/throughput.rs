@@ -9,7 +9,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mfc_bench::experiments::rank_figs;
 use mfc_bench::Scale;
 use mfc_core::types::Stage;
-use mfc_simcore::{EventQueue, SimRng, SimTime};
+use mfc_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use mfc_simnet::{FlowId, FluidLink, NaiveFluidLink};
+use mfc_webserver::{
+    CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
+    WorkerConfig,
+};
 
 /// Schedule/pop churn with a live population of pending events, the access
 /// pattern the simulation engines produce.
@@ -53,6 +58,86 @@ fn queue_cancel_churn(events: usize) -> u64 {
     cancelled
 }
 
+/// Flow parameters for the link-scaling benches: deterministic, with a mix
+/// of unlimited and heterogeneous finite caps so the water level actually
+/// moves and flows flip between the capped and sharing regimes.
+fn crowd_flows(n: u64) -> Vec<(u64, f64, f64, u64)> {
+    let mut rng = SimRng::seed_from(0xF10);
+    (0..n)
+        .map(|id| {
+            let cap = if rng.chance(0.5) {
+                f64::INFINITY
+            } else {
+                rng.uniform(10_000.0, 1e6)
+            };
+            (id, rng.uniform(50_000.0, 2e6), cap, rng.uniform_u64(0, 500))
+        })
+        .collect()
+}
+
+/// Starts `n` staggered flows on the virtual-time link and drains it.
+fn link_drain(flows: &[(u64, f64, f64, u64)]) -> u64 {
+    let mut link = FluidLink::new(1e8);
+    let mut now = SimTime::ZERO;
+    for &(id, bytes, cap, stagger_us) in flows {
+        now += SimDuration::from_micros(stagger_us);
+        link.start_flow(FlowId(id), bytes, cap, now);
+    }
+    let mut checksum = 0u64;
+    while let Some((t, id)) = link.next_completion(now) {
+        now = now.max(t);
+        link.finish_flow(id, now);
+        checksum = checksum.wrapping_add(t.as_micros()).wrapping_add(id.0);
+    }
+    checksum
+}
+
+/// The same drain over the retained naive progressive-filling reference —
+/// the pre-PR `FluidLink` — so the speedup is measured in-tree.
+fn naive_link_drain(flows: &[(u64, f64, f64, u64)]) -> u64 {
+    let mut link = NaiveFluidLink::new(1e8);
+    let mut now = SimTime::ZERO;
+    for &(id, bytes, cap, stagger_us) in flows {
+        now += SimDuration::from_micros(stagger_us);
+        link.start_flow(FlowId(id), bytes, cap, now);
+    }
+    let mut checksum = 0u64;
+    while let Some((t, id)) = link.next_completion(now) {
+        now = now.max(t);
+        link.finish_flow(id, now);
+        checksum = checksum.wrapping_add(t.as_micros()).wrapping_add(id.0);
+    }
+    checksum
+}
+
+/// One engine run of a large-object crowd: `n` concurrent 100KB transfers
+/// through the full server pipeline (workers, CPU, cache, access link).
+fn engine_large_object_crowd(n: u64) -> u64 {
+    let config = ServerConfig {
+        workers: WorkerConfig {
+            max_workers: 16_384,
+            listen_queue: 32_768,
+            ..WorkerConfig::default()
+        },
+        ..ServerConfig::lab_apache()
+    };
+    let engine = ServerEngine::new(config, ContentCatalog::lab_validation());
+    let mut cache = CacheState::new();
+    let requests: Vec<ServerRequest> = (0..n)
+        .map(|i| ServerRequest {
+            id: i,
+            arrival: SimTime::ZERO + SimDuration::from_micros(i * 50),
+            class: RequestClass::Static,
+            path: "/objects/large_100k.bin".to_string(),
+            client_downlink: 1e8,
+            client_rtt: SimDuration::from_millis(40),
+            background: false,
+        })
+        .collect();
+    let result = engine.run(requests, &mut cache);
+    result.utilization.completed_requests
+}
+
 fn bench(c: &mut Criterion) {
     const CHURN_EVENTS: usize = 200_000;
     let mut group = c.benchmark_group("throughput");
@@ -65,6 +150,27 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("rank_survey_base_quick", |b| {
         b.iter(|| rank_figs::run(Stage::Base, Scale::Quick, black_box(1)))
+    });
+    group.finish();
+
+    // The fluid-link scaling curve the BENCH_*.json trajectory tracks: the
+    // naive 1k point is the pre-PR baseline, the 1k→10k pair shows the
+    // near-O(E log C) growth of the virtual-time core.
+    let mut group = c.benchmark_group("link_scaling");
+    group.sample_size(10);
+    let flows_1k = crowd_flows(1_000);
+    let flows_10k = crowd_flows(10_000);
+    group.bench_function("naive_1k", |b| {
+        b.iter(|| naive_link_drain(black_box(&flows_1k)))
+    });
+    group.bench_function("virtual_time_1k", |b| {
+        b.iter(|| link_drain(black_box(&flows_1k)))
+    });
+    group.bench_function("virtual_time_10k", |b| {
+        b.iter(|| link_drain(black_box(&flows_10k)))
+    });
+    group.bench_function("engine_large_object_crowd_2k", |b| {
+        b.iter(|| engine_large_object_crowd(black_box(2_000)))
     });
     group.finish();
 }

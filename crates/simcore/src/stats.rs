@@ -280,11 +280,13 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, value: f64) {
+        // Edges are validated strictly ascending at construction, so the
+        // first edge above `value` is a partition point — binary search
+        // instead of a linear scan.  The negated predicate keeps the old
+        // NaN behaviour (all comparisons false => overflow bucket).
         let bucket = self
             .edges
-            .iter()
-            .position(|&e| value < e)
-            .unwrap_or(self.edges.len());
+            .partition_point(|&e| !matches!(value.partial_cmp(&e), Some(std::cmp::Ordering::Less)));
         self.counts[bucket] += 1;
     }
 
@@ -315,7 +317,16 @@ impl Histogram {
 
     /// Fractions for all buckets, summing to 1 when any data was recorded.
     pub fn fractions(&self) -> Vec<f64> {
-        (0..self.counts.len()).map(|i| self.fraction(i)).collect()
+        // One total for the whole vector rather than re-summing every
+        // bucket per element (which made this quadratic in bucket count).
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -481,6 +492,34 @@ mod tests {
         assert_eq!(h.total(), 6);
         let fr = h.fractions();
         assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing_matches_linear_scan() {
+        let edges = [1.0, 2.5, 10.0, 10.5, 100.0];
+        let mut h = Histogram::new(&edges);
+        let values = [
+            -5.0,
+            0.0,
+            1.0,
+            2.49,
+            2.5,
+            10.0,
+            10.49,
+            99.9,
+            100.0,
+            1e9,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &v in &values {
+            let expected = edges.iter().position(|&e| v < e).unwrap_or(edges.len());
+            let before = h.counts()[expected];
+            h.record(v);
+            assert_eq!(h.counts()[expected], before + 1, "value {v}");
+        }
+        assert_eq!(h.total(), values.len() as u64);
     }
 
     #[test]

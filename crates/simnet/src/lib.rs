@@ -25,13 +25,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capset;
 pub mod latency;
 pub mod link;
 pub mod tcp;
 pub mod udp;
 
+pub use capset::CapMultiset;
 pub use latency::{ClientNetProfile, PopulationProfile, WideAreaModel};
-pub use link::{FlowId, FluidLink};
+pub use link::{FlowId, FluidLink, NaiveFluidLink};
 pub use tcp::TcpModel;
 pub use udp::ControlChannel;
 

@@ -7,31 +7,74 @@
 //! where each flow may additionally be capped below its fair share by the
 //! client's own downlink or by TCP window limits.
 //!
-//! [`FluidLink`] implements the classic progressive-filling (max–min
-//! fairness) allocation: capacity is divided equally among unsaturated
-//! flows, flows capped below the equal share keep their cap, and the excess
-//! is redistributed.  The link is advanced explicitly by the caller's event
-//! loop: [`FluidLink::next_completion`] reports when the earliest active
-//! flow would finish if nothing changes, and [`FluidLink::advance`] drains
-//! the appropriate number of bytes from every flow up to a given time.
+//! [`FluidLink`] implements max–min fairness with a **virtual-time,
+//! water-level core** instead of the classic per-event progressive-filling
+//! pass:
+//!
+//! - The fair allocation is a water level `w` with `Σ min(cᵢ, w) = C`,
+//!   computed in O(log n) over a [`CapMultiset`] (a balanced tree of caps
+//!   with subtree prefix sums) rather than by repeatedly redistributing
+//!   excess capacity over every flow.
+//! - Flows *above* the water level all progress at the common rate `w`, so
+//!   their remaining bytes never need to be touched individually: one
+//!   cumulative fair-share integral `V(t) = ∫ w dt` advances for all of
+//!   them, and each flow finishes when `V` reaches its *virtual finish
+//!   tag* (the value of `V` at admission plus its size).  They live in an
+//!   ordered set keyed by that tag, so the next completion is a peek.
+//! - Flows *below* the water level run at their own constant cap, so their
+//!   absolute finish time is fixed while they stay capped; they live in a
+//!   second ordered set keyed by wall-clock finish time.
+//! - An arrival or departure moves the water level and may flip flows
+//!   between the two regimes; flips are found by range queries over
+//!   cap-ordered indexes, so each flip costs O(log n) instead of a full
+//!   rescan.
+//!
+//! The result is O(log n) amortized per flow arrival/departure and an
+//! O(log n) `peek_completion`, versus O(n²) per event for progressive
+//! filling — the
+//! difference between simulating tens and tens of thousands of concurrent
+//! transfers.  The old implementation is retained verbatim as
+//! [`NaiveFluidLink`], the executable specification the property tests and
+//! scaling benches compare against.
+//!
+//! Every container involved is ordered (`BTreeMap`/`BTreeSet`/set-shaped
+//! treap), so all float accumulation happens in a reproducible order and
+//! repro artifacts stay byte-identical across runs and thread counts.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
 use mfc_simcore::{SimDuration, SimTime};
 
+use crate::capset::CapMultiset;
 use crate::Bandwidth;
 
 /// Identifies one flow (one HTTP response transfer) on a [`FluidLink`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub u64);
 
+/// Which sharing regime a flow is currently in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Regime {
+    /// Rate = water level; finishes when the fair-share integral `V`
+    /// reaches `v_finish`.
+    Sharing { v_finish: f64 },
+    /// Rate = own cap (constant while capped); `r_ref` bytes remained at
+    /// wall-clock `t_ref_secs`, giving the fixed finish time `finish_secs`.
+    Capped {
+        r_ref: f64,
+        t_ref_secs: f64,
+        finish_secs: f64,
+    },
+    /// No bytes left; rate zero, waiting for [`FluidLink::finish_flow`].
+    Drained,
+}
+
 #[derive(Debug, Clone)]
 struct Flow {
-    remaining_bytes: f64,
     /// Per-flow rate ceiling in bytes/s (client downlink, TCP window, …).
     rate_cap: Bandwidth,
-    /// Rate assigned by the most recent allocation pass.
-    current_rate: Bandwidth,
+    regime: Regime,
 }
 
 /// A shared bottleneck link with max–min fair bandwidth allocation.
@@ -49,21 +92,38 @@ struct Flow {
 /// link.start_flow(FlowId(2), 500_000.0, f64::INFINITY, t0);
 ///
 /// // Each flow gets 0.5 MB/s, so both finish after one second.
-/// let (t, id) = link.next_completion(t0).unwrap();
+/// let (t, id) = link.peek_completion().unwrap();
 /// assert_eq!((t - t0).as_secs_f64(), 1.0);
 /// assert_eq!(id, FlowId(1));
 /// ```
 #[derive(Debug, Clone)]
 pub struct FluidLink {
     capacity: Bandwidth,
-    // A BTreeMap, not a HashMap: rate sums and per-flow drains accumulate
-    // floats in iteration order, and `HashMap`'s per-process random order
-    // makes the last ulp of utilization numbers differ between runs of the
-    // same seed.  Ordered iteration keeps every artifact byte-stable (and
-    // drops sip-hashing from the per-event hot path as a bonus).
     flows: BTreeMap<FlowId, Flow>,
-    last_advance: SimTime,
+    /// Fair-share integral `V(t)`: advances at the water-level rate while
+    /// any sharing flow exists.
+    vtime: f64,
+    /// Water level (rate of every sharing flow); `f64::INFINITY` when no
+    /// flow is sharing.
+    water: f64,
+    /// Aggregate throughput of all active flows.
+    agg_rate: f64,
+    last_event: SimTime,
     bytes_transferred: f64,
+    /// Finite caps of all active (non-drained) flows.
+    caps: CapMultiset,
+    /// Active flows with an infinite cap (always sharing).
+    inf_count: u64,
+    /// Sharing flows ordered by virtual finish tag: `(v_finish bits, id)`.
+    sharing: BTreeSet<(u64, FlowId)>,
+    /// Capped flows ordered by absolute finish time: `(finish_secs bits, id)`.
+    capped: BTreeSet<(u64, FlowId)>,
+    /// Capped flows ordered by cap, for water-level-drop flips.
+    capped_by_cap: BTreeSet<(u64, FlowId)>,
+    /// Finite-cap sharing flows ordered by cap, for water-level-rise flips.
+    sharing_by_cap: BTreeSet<(u64, FlowId)>,
+    /// Flows discovered to have zero bytes remaining (they complete "now").
+    drained: BTreeSet<FlowId>,
 }
 
 impl FluidLink {
@@ -77,8 +137,18 @@ impl FluidLink {
         FluidLink {
             capacity,
             flows: BTreeMap::new(),
-            last_advance: SimTime::ZERO,
+            vtime: 0.0,
+            water: f64::INFINITY,
+            agg_rate: 0.0,
+            last_event: SimTime::ZERO,
             bytes_transferred: 0.0,
+            caps: CapMultiset::new(),
+            inf_count: 0,
+            sharing: BTreeSet::new(),
+            capped: BTreeSet::new(),
+            capped_by_cap: BTreeSet::new(),
+            sharing_by_cap: BTreeSet::new(),
+            drained: BTreeSet::new(),
         }
     }
 
@@ -99,7 +169,7 @@ impl FluidLink {
 
     /// Current aggregate throughput in bytes per second.
     pub fn utilization_bytes_per_sec(&self) -> f64 {
-        self.flows.values().map(|f| f.current_rate).sum()
+        self.agg_rate
     }
 
     /// Starts a new transfer of `bytes` bytes at time `now`, individually
@@ -114,9 +184,433 @@ impl FluidLink {
     pub fn start_flow(&mut self, id: FlowId, bytes: f64, rate_cap: Bandwidth, now: SimTime) {
         assert!(bytes >= 0.0, "flow size must be non-negative");
         self.advance(now);
+        self.sweep_completed();
+        assert!(
+            !self.flows.contains_key(&id),
+            "flow {id:?} is already active"
+        );
+        let rate_cap = rate_cap.max(0.0);
+        if bytes <= 0.0 {
+            self.flows.insert(
+                id,
+                Flow {
+                    rate_cap,
+                    regime: Regime::Drained,
+                },
+            );
+            self.drained.insert(id);
+        } else {
+            let v_finish = self.vtime + bytes;
+            self.flows.insert(
+                id,
+                Flow {
+                    rate_cap,
+                    regime: Regime::Sharing { v_finish },
+                },
+            );
+            self.sharing.insert((v_finish.to_bits(), id));
+            if rate_cap.is_finite() {
+                self.caps.insert(rate_cap);
+                self.sharing_by_cap.insert((rate_cap.to_bits(), id));
+            } else {
+                self.inf_count += 1;
+            }
+        }
+        self.rebalance();
+    }
+
+    /// Removes a flow (typically after a completion reported by
+    /// [`Self::peek_completion`], or because the request timed out).
+    /// Returns the number of bytes that had not yet been transferred.
+    pub fn finish_flow(&mut self, id: FlowId, now: SimTime) -> Option<f64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        let remaining = match flow.regime {
+            Regime::Drained => {
+                self.drained.remove(&id);
+                0.0
+            }
+            Regime::Sharing { v_finish } => {
+                self.sharing.remove(&(v_finish.to_bits(), id));
+                self.detach_cap(&flow, id, /*was_sharing=*/ true);
+                let r = v_finish - self.vtime;
+                if r < 0.0 {
+                    // The caller advanced (at most a clock tick) past the
+                    // exact finish; refund the over-charged bytes.
+                    self.bytes_transferred += r;
+                }
+                r.max(0.0)
+            }
+            Regime::Capped {
+                r_ref,
+                t_ref_secs,
+                finish_secs,
+            } => {
+                self.capped.remove(&(finish_secs.to_bits(), id));
+                self.detach_cap(&flow, id, /*was_sharing=*/ false);
+                let r = r_ref - flow.rate_cap * (self.last_event.as_secs_f64() - t_ref_secs);
+                if r < 0.0 {
+                    self.bytes_transferred += r;
+                }
+                r.max(0.0)
+            }
+        };
+        self.sweep_completed();
+        self.rebalance();
+        Some(remaining)
+    }
+
+    /// Changes the rate cap of an active flow (e.g. a TCP window opening up
+    /// as the transfer leaves slow start).  Triggers a re-allocation.
+    pub fn set_rate_cap(&mut self, id: FlowId, rate_cap: Bandwidth, now: SimTime) {
+        self.advance(now);
+        if !self.flows.contains_key(&id) {
+            // Like the naive model: an unknown id advances the clock only.
+            return;
+        }
+        // From here on this behaves like the reference model's unconditional
+        // reallocate: once the sweep has detached newly-drained flows, a
+        // rebalance MUST follow on every path, or `water`/`agg_rate` keep
+        // counting the share of flows the sweep just released.
+        self.sweep_completed();
+        let flow = self.flows.get(&id).expect("presence checked above");
+        let old_cap = flow.rate_cap;
+        let rate_cap = rate_cap.max(0.0);
+        if old_cap.to_bits() == rate_cap.to_bits() {
+            self.rebalance();
+            return;
+        }
+        match flow.regime {
+            Regime::Drained => {
+                self.flows.get_mut(&id).expect("flow exists").rate_cap = rate_cap;
+                self.rebalance();
+                return;
+            }
+            Regime::Sharing { .. } => {
+                if old_cap.is_finite() {
+                    self.caps.remove(old_cap);
+                    self.sharing_by_cap.remove(&(old_cap.to_bits(), id));
+                } else {
+                    self.inf_count -= 1;
+                }
+            }
+            Regime::Capped {
+                r_ref,
+                t_ref_secs,
+                finish_secs,
+            } => {
+                // Materialize the remaining bytes and re-enter as sharing;
+                // the rebalance below re-freezes the flow if its new cap is
+                // still under water.
+                self.caps.remove(old_cap);
+                self.capped.remove(&(finish_secs.to_bits(), id));
+                self.capped_by_cap.remove(&(old_cap.to_bits(), id));
+                let r = r_ref - old_cap * (self.last_event.as_secs_f64() - t_ref_secs);
+                let v_finish = self.vtime + r.max(0.0);
+                self.flows.get_mut(&id).expect("flow exists").regime = Regime::Sharing { v_finish };
+                self.sharing.insert((v_finish.to_bits(), id));
+            }
+        }
+        let flow = self.flows.get_mut(&id).expect("flow exists");
+        flow.rate_cap = rate_cap;
+        if rate_cap.is_finite() {
+            self.caps.insert(rate_cap);
+            self.sharing_by_cap.insert((rate_cap.to_bits(), id));
+        } else {
+            self.inf_count += 1;
+        }
+        self.rebalance();
+    }
+
+    /// Advances the fluid model to `now`, draining bytes in aggregate and
+    /// moving the fair-share integral forward.
+    ///
+    /// Flows whose remaining bytes reach zero stay in the link (at zero
+    /// remaining) until [`Self::finish_flow`] removes them, so completion
+    /// bookkeeping stays with the caller's event loop.
+    pub fn advance(&mut self, now: SimTime) {
+        if now <= self.last_event {
+            return;
+        }
+        let elapsed = (now - self.last_event).as_secs_f64();
+        self.bytes_transferred += self.agg_rate * elapsed;
+        if !self.sharing.is_empty() {
+            self.vtime += self.water * elapsed;
+        }
+        self.last_event = now;
+    }
+
+    /// Returns the time and id of the flow that will complete first if no
+    /// flows are added or removed, or `None` when no active flow has both
+    /// bytes remaining and a positive rate.
+    ///
+    /// Pure: does not advance the model.  Completion times are absolute, so
+    /// the answer is stable between mutations regardless of how far the
+    /// caller's clock has moved — ideal for event-loop rescheduling.
+    pub fn peek_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        let consider = |candidate: (SimTime, FlowId), best: &mut Option<(SimTime, FlowId)>| {
+            *best = Some(match *best {
+                Some(b) if b <= candidate => b,
+                _ => candidate,
+            });
+        };
+        if let Some(&id) = self.drained.iter().next() {
+            consider((self.last_event, id), &mut best);
+        }
+        if let Some(&(v_bits, id)) = self.sharing.iter().next() {
+            let v_finish = f64::from_bits(v_bits);
+            if v_finish <= self.vtime {
+                consider((self.last_event, id), &mut best);
+            } else {
+                let secs = (v_finish - self.vtime) / self.water;
+                if secs.is_finite() {
+                    consider((self.last_event + ceil_micros(secs), id), &mut best);
+                }
+            }
+        }
+        if let Some(&(f_bits, id)) = self.capped.iter().next() {
+            let finish_secs = f64::from_bits(f_bits);
+            if finish_secs.is_finite() {
+                let t = SimTime::from_micros((finish_secs * 1_000_000.0).ceil() as u64)
+                    .max(self.last_event);
+                consider((t, id), &mut best);
+            }
+        }
+        best
+    }
+
+    /// [`Self::peek_completion`] after advancing the model to `now`.
+    ///
+    /// Retained for callers that drive the link directly; the engine's
+    /// reschedulers use the pure peek instead.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, FlowId)> {
+        self.advance(now);
+        self.peek_completion()
+    }
+
+    /// Remaining bytes for a flow, if it is active.
+    pub fn remaining_bytes(&self, id: FlowId) -> Option<f64> {
+        let flow = self.flows.get(&id)?;
+        Some(match flow.regime {
+            Regime::Drained => 0.0,
+            Regime::Sharing { v_finish } => (v_finish - self.vtime).max(0.0),
+            Regime::Capped {
+                r_ref, t_ref_secs, ..
+            } => (r_ref - flow.rate_cap * (self.last_event.as_secs_f64() - t_ref_secs)).max(0.0),
+        })
+    }
+
+    /// The rate currently allocated to a flow in bytes/s, if it is active.
+    pub fn current_rate(&self, id: FlowId) -> Option<Bandwidth> {
+        let flow = self.flows.get(&id)?;
+        Some(match flow.regime {
+            Regime::Drained => 0.0,
+            Regime::Sharing { .. } => self.water,
+            Regime::Capped { .. } => flow.rate_cap,
+        })
+    }
+
+    /// Removes the cap-index bookkeeping for a departing flow.
+    fn detach_cap(&mut self, flow: &Flow, id: FlowId, was_sharing: bool) {
+        if flow.rate_cap.is_finite() {
+            self.caps.remove(flow.rate_cap);
+            let entry = (flow.rate_cap.to_bits(), id);
+            if was_sharing {
+                self.sharing_by_cap.remove(&entry);
+            } else {
+                self.capped_by_cap.remove(&entry);
+            }
+        } else {
+            self.inf_count -= 1;
+        }
+    }
+
+    /// Moves flows that already finished (as of the current `vtime` /
+    /// `last_event`) into the drained state, releasing their share.  This is
+    /// the lazy analogue of progressive filling's `remaining > 0` filter and
+    /// runs at the same points (flow add/remove), so rates match the naive
+    /// model between events.
+    fn sweep_completed(&mut self) {
+        let now_secs = self.last_event.as_secs_f64();
+        while let Some(&(v_bits, id)) = self.sharing.iter().next() {
+            let v_finish = f64::from_bits(v_bits);
+            if v_finish > self.vtime {
+                break;
+            }
+            self.sharing.remove(&(v_bits, id));
+            let flow = self.flows.get(&id).expect("indexed flow exists").clone();
+            self.detach_cap(&flow, id, /*was_sharing=*/ true);
+            let over = v_finish - self.vtime;
+            if over < 0.0 {
+                self.bytes_transferred += over;
+            }
+            self.flows.get_mut(&id).expect("flow exists").regime = Regime::Drained;
+            self.drained.insert(id);
+        }
+        while let Some(&(f_bits, id)) = self.capped.iter().next() {
+            let finish_secs = f64::from_bits(f_bits);
+            if finish_secs > now_secs {
+                break;
+            }
+            self.capped.remove(&(f_bits, id));
+            let flow = self.flows.get(&id).expect("indexed flow exists").clone();
+            self.detach_cap(&flow, id, /*was_sharing=*/ false);
+            if let Regime::Capped {
+                r_ref, t_ref_secs, ..
+            } = flow.regime
+            {
+                let over = r_ref - flow.rate_cap * (now_secs - t_ref_secs);
+                if over < 0.0 {
+                    self.bytes_transferred += over;
+                }
+            }
+            self.flows.get_mut(&id).expect("flow exists").regime = Regime::Drained;
+            self.drained.insert(id);
+        }
+    }
+
+    /// Recomputes the water level after a structural change and flips flows
+    /// whose regime changed.  O(log n) plus O(log n) per flipped flow.
+    fn rebalance(&mut self) {
+        let active = self.caps.len() + self.inf_count;
+        if active == 0 {
+            self.water = f64::INFINITY;
+            self.agg_rate = 0.0;
+            return;
+        }
+        let wl = self.caps.water_level(self.capacity, active);
+        self.water = wl.level;
+        self.agg_rate = if wl.saturated_count >= active {
+            wl.saturated_sum
+        } else {
+            wl.saturated_sum + wl.level * (active - wl.saturated_count) as f64
+        };
+        let now_secs = self.last_event.as_secs_f64();
+
+        // Capped flows whose cap rose above the (lowered) water level go
+        // back to sharing.
+        let unfreeze_from = match wl.threshold_bits {
+            Some(bits) => Bound::Excluded((bits, FlowId(u64::MAX))),
+            None => Bound::Unbounded,
+        };
+        let to_share: Vec<(u64, FlowId)> = self
+            .capped_by_cap
+            .range((unfreeze_from, Bound::Unbounded))
+            .copied()
+            .collect();
+        for (cap_bits, id) in to_share {
+            self.capped_by_cap.remove(&(cap_bits, id));
+            let flow = self.flows.get_mut(&id).expect("indexed flow exists");
+            let Regime::Capped {
+                r_ref,
+                t_ref_secs,
+                finish_secs,
+            } = flow.regime
+            else {
+                unreachable!("capped index points at a non-capped flow");
+            };
+            let remaining = r_ref - flow.rate_cap * (now_secs - t_ref_secs);
+            let v_finish = self.vtime + remaining;
+            flow.regime = Regime::Sharing { v_finish };
+            self.capped.remove(&(finish_secs.to_bits(), id));
+            self.sharing.insert((v_finish.to_bits(), id));
+            self.sharing_by_cap.insert((cap_bits, id));
+        }
+
+        // Sharing flows whose cap sank below the (raised) water level are
+        // frozen at their cap.
+        if let Some(bits) = wl.threshold_bits {
+            let to_freeze: Vec<(u64, FlowId)> = self
+                .sharing_by_cap
+                .range((Bound::Unbounded, Bound::Included((bits, FlowId(u64::MAX)))))
+                .copied()
+                .collect();
+            for (cap_bits, id) in to_freeze {
+                self.sharing_by_cap.remove(&(cap_bits, id));
+                let flow = self.flows.get_mut(&id).expect("indexed flow exists");
+                let Regime::Sharing { v_finish } = flow.regime else {
+                    unreachable!("sharing index points at a non-sharing flow");
+                };
+                let r_ref = v_finish - self.vtime;
+                let finish_secs = now_secs + r_ref / flow.rate_cap;
+                flow.regime = Regime::Capped {
+                    r_ref,
+                    t_ref_secs: now_secs,
+                    finish_secs,
+                };
+                self.sharing.remove(&(v_finish.to_bits(), id));
+                self.capped.insert((finish_secs.to_bits(), id));
+                self.capped_by_cap.insert((cap_bits, id));
+            }
+        }
+    }
+}
+
+/// Rounds a span of seconds *up* to the clock's microsecond resolution so
+/// that advancing to the reported completion time always drains the flow
+/// completely; rounding to nearest could leave a sliver of bytes behind on
+/// very fast links.
+fn ceil_micros(secs: f64) -> SimDuration {
+    SimDuration::from_micros((secs * 1_000_000.0).ceil().max(0.0) as u64)
+}
+
+// ---------------------------------------------------------------------
+// The retained naive reference model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct NaiveFlow {
+    remaining_bytes: f64,
+    rate_cap: Bandwidth,
+    current_rate: Bandwidth,
+}
+
+/// The pre-optimization progressive-filling fluid link, retained verbatim
+/// as the executable specification of max–min fairness.
+///
+/// Every operation is an O(n)–O(n²) scan whose correctness is self-evident;
+/// the randomized property tests assert that [`FluidLink`]'s virtual-time
+/// core produces the same rates, completion times and completion order, and
+/// the scaling benches in `crates/bench` measure the speedup against it.
+/// Do not use it outside tests and benches.
+#[derive(Debug, Clone)]
+pub struct NaiveFluidLink {
+    capacity: Bandwidth,
+    flows: BTreeMap<FlowId, NaiveFlow>,
+    last_advance: SimTime,
+    bytes_transferred: f64,
+}
+
+impl NaiveFluidLink {
+    /// Creates a link with the given capacity in bytes per second.
+    pub fn new(capacity: Bandwidth) -> Self {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        NaiveFluidLink {
+            capacity,
+            flows: BTreeMap::new(),
+            last_advance: SimTime::ZERO,
+            bytes_transferred: 0.0,
+        }
+    }
+
+    /// Total bytes drained through the link since construction.
+    pub fn bytes_transferred(&self) -> f64 {
+        self.bytes_transferred
+    }
+
+    /// Current aggregate throughput in bytes per second.
+    pub fn utilization_bytes_per_sec(&self) -> f64 {
+        self.flows.values().map(|f| f.current_rate).sum()
+    }
+
+    /// Starts a new transfer; see [`FluidLink::start_flow`].
+    pub fn start_flow(&mut self, id: FlowId, bytes: f64, rate_cap: Bandwidth, now: SimTime) {
+        assert!(bytes >= 0.0, "flow size must be non-negative");
+        self.advance(now);
         let previous = self.flows.insert(
             id,
-            Flow {
+            NaiveFlow {
                 remaining_bytes: bytes,
                 rate_cap: rate_cap.max(0.0),
                 current_rate: 0.0,
@@ -126,9 +620,7 @@ impl FluidLink {
         self.reallocate();
     }
 
-    /// Removes a flow (typically after [`Self::next_completion`] reported it
-    /// finished, or because the request timed out).  Returns the number of
-    /// bytes that had not yet been transferred.
+    /// Removes a flow; see [`FluidLink::finish_flow`].
     pub fn finish_flow(&mut self, id: FlowId, now: SimTime) -> Option<f64> {
         self.advance(now);
         let flow = self.flows.remove(&id)?;
@@ -136,12 +628,16 @@ impl FluidLink {
         Some(flow.remaining_bytes)
     }
 
-    /// Advances the fluid model to `now`, draining bytes from every active
-    /// flow at its currently allocated rate.
-    ///
-    /// Flows whose remaining bytes reach zero stay in the link (at zero
-    /// remaining) until [`Self::finish_flow`] removes them, so completion
-    /// bookkeeping stays with the caller's event loop.
+    /// Changes the rate cap of an active flow; see [`FluidLink::set_rate_cap`].
+    pub fn set_rate_cap(&mut self, id: FlowId, rate_cap: Bandwidth, now: SimTime) {
+        self.advance(now);
+        if let Some(flow) = self.flows.get_mut(&id) {
+            flow.rate_cap = rate_cap.max(0.0);
+            self.reallocate();
+        }
+    }
+
+    /// Advances the fluid model to `now`, draining every flow individually.
     pub fn advance(&mut self, now: SimTime) {
         if now <= self.last_advance {
             return;
@@ -155,18 +651,12 @@ impl FluidLink {
         self.last_advance = now;
     }
 
-    /// Returns the time and id of the flow that will complete first if no
-    /// flows are added or removed, or `None` when no active flow has bytes
-    /// remaining.
-    ///
-    /// Ties are broken by the smaller [`FlowId`] so results are
-    /// deterministic.
+    /// Returns the next completion by scanning every flow.
     pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, FlowId)> {
         self.advance(now);
         let mut best: Option<(SimDuration, FlowId)> = None;
         for (&id, flow) in &self.flows {
             if flow.remaining_bytes <= 0.0 {
-                // Already drained: completes "now".
                 let candidate = (SimDuration::ZERO, id);
                 best = Some(match best {
                     Some(b) if b <= candidate => b,
@@ -178,10 +668,6 @@ impl FluidLink {
                 continue;
             }
             let secs = flow.remaining_bytes / flow.current_rate;
-            // Round *up* to the clock's microsecond resolution so that
-            // advancing to the reported completion time always drains the
-            // flow completely; rounding to nearest could leave a sliver of
-            // bytes behind on very fast links.
             let micros = (secs * 1_000_000.0).ceil().max(0.0) as u64;
             let candidate = (SimDuration::from_micros(micros), id);
             best = Some(match best {
@@ -210,18 +696,13 @@ impl FluidLink {
             .filter(|(_, f)| f.remaining_bytes > 0.0)
             .map(|(&id, _)| id)
             .collect();
-        // Deterministic iteration order.
         unassigned.sort_unstable();
 
-        // Flows with no bytes left get rate zero.
         for flow in self.flows.values_mut() {
             flow.current_rate = 0.0;
         }
 
         let mut capacity_left = self.capacity;
-        // Progressive filling: repeatedly give every unassigned flow an equal
-        // share; flows whose cap is below the share are frozen at their cap
-        // and the loop repeats with the leftover capacity.
         while !unassigned.is_empty() && capacity_left > f64::EPSILON {
             let share = capacity_left / unassigned.len() as f64;
             let mut frozen = Vec::new();
@@ -232,7 +713,6 @@ impl FluidLink {
                 }
             }
             if frozen.is_empty() {
-                // Everyone can use the equal share.
                 for id in &unassigned {
                     self.flows.get_mut(id).expect("flow exists").current_rate = share;
                 }
@@ -303,6 +783,7 @@ mod tests {
         // 10 flows capped at 0.5 MB/s could use 5 MB/s but the link only has
         // 1 MB/s: the allocation must fill the link exactly.
         assert!((total - 1_000_000.0).abs() < 1e-6);
+        assert!((link.utilization_bytes_per_sec() - 1_000_000.0).abs() < 1e-6);
     }
 
     #[test]
@@ -350,8 +831,8 @@ mod tests {
         let mut link = FluidLink::new(1_000_000.0);
         link.start_flow(FlowId(1), 250_000.0, f64::INFINITY, t(0.0));
         link.advance(t(10.0));
-        assert!((link.bytes_transferred() - 250_000.0).abs() < 1e-6);
         link.finish_flow(FlowId(1), t(10.0));
+        assert!((link.bytes_transferred() - 250_000.0).abs() < 1e-6);
         assert_eq!(link.active_flows(), 0);
     }
 
@@ -359,6 +840,7 @@ mod tests {
     fn next_completion_none_when_empty() {
         let mut link = FluidLink::new(1_000.0);
         assert!(link.next_completion(t(0.0)).is_none());
+        assert!(link.peek_completion().is_none());
     }
 
     #[test]
@@ -399,5 +881,90 @@ mod tests {
         let (done, _) = link.next_completion(t(0.0)).unwrap();
         assert!((done.as_secs_f64() - expect).abs() < 1e-9);
         let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    fn peek_is_pure_and_stable() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 1_000_000.0, f64::INFINITY, t(0.0));
+        let first = link.peek_completion();
+        // Peeking again (even "later" in caller time) gives the same answer
+        // because nothing mutated the link.
+        let second = link.peek_completion();
+        assert_eq!(first, second);
+        assert_eq!(first.unwrap().0, t(1.0));
+    }
+
+    #[test]
+    fn raising_a_cap_speeds_up_the_flow() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 400_000.0, 100_000.0, t(0.0));
+        assert_eq!(link.current_rate(FlowId(1)), Some(100_000.0));
+        // After one second (100KB done) the window opens fully.
+        link.set_rate_cap(FlowId(1), f64::INFINITY, t(1.0));
+        assert_eq!(link.current_rate(FlowId(1)), Some(1_000_000.0));
+        let (done, _) = link.peek_completion().unwrap();
+        // 300KB left at 1MB/s.
+        assert!((done.as_secs_f64() - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowering_a_cap_slows_the_flow() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 500_000.0, f64::INFINITY, t(0.0));
+        link.set_rate_cap(FlowId(1), 50_000.0, t(0.0));
+        assert_eq!(link.current_rate(FlowId(1)), Some(50_000.0));
+        let (done, _) = link.peek_completion().unwrap();
+        assert!((done.as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_cap_change_still_releases_a_drained_flows_share() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 1_000_000.0, f64::INFINITY, t(0.0));
+        link.start_flow(FlowId(2), 10_000_000.0, 500_000.0, t(0.0));
+        // Both run at 500 kB/s; flow 1 truly finishes at t=2 but is left in
+        // the link (the caller hasn't harvested the completion yet).
+        link.advance(t(3.0));
+        // A no-op cap change must still exclude the drained flow from the
+        // allocation, exactly like the naive model's unconditional
+        // reallocate — a stale aggregate here would accrue phantom bytes.
+        link.set_rate_cap(FlowId(2), 500_000.0, t(3.0));
+        assert!((link.utilization_bytes_per_sec() - 500_000.0).abs() < 1e-6);
+        link.advance(t(4.0));
+        link.finish_flow(FlowId(1), t(4.0));
+        let leftover = link.finish_flow(FlowId(2), t(4.0)).unwrap();
+        // Flow 2 moved 500 kB/s × 4 s = 2 MB; flow 1 moved its full 1 MB.
+        assert!((leftover - 8_000_000.0).abs() < 1.0);
+        assert!((link.bytes_transferred() - 3_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn water_level_flips_follow_arrivals_and_departures() {
+        let mut link = FluidLink::new(1_000_000.0);
+        // A 300 KB/s-capped flow alone: capped (level would be 1 MB/s).
+        link.start_flow(FlowId(1), 10_000_000.0, 300_000.0, t(0.0));
+        assert_eq!(link.current_rate(FlowId(1)), Some(300_000.0));
+        // Three more uncapped flows: level drops to ~233 KB/s, so flow 1 is
+        // no longer capped and shares equally.
+        for i in 2..=4 {
+            link.start_flow(FlowId(i), 10_000_000.0, f64::INFINITY, t(0.0));
+        }
+        assert!((link.current_rate(FlowId(1)).unwrap() - 250_000.0).abs() < 1e-6);
+        // Remove them again: flow 1 goes back to its cap.
+        for i in 2..=4 {
+            link.finish_flow(FlowId(i), t(0.0));
+        }
+        assert_eq!(link.current_rate(FlowId(1)), Some(300_000.0));
+    }
+
+    #[test]
+    fn naive_link_still_behaves() {
+        let mut link = NaiveFluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 500_000.0, f64::INFINITY, t(0.0));
+        link.start_flow(FlowId(2), 500_000.0, f64::INFINITY, t(0.0));
+        let (done, id) = link.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, FlowId(1));
+        assert!((done.as_secs_f64() - 1.0).abs() < 1e-9);
     }
 }

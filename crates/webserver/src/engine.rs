@@ -314,7 +314,7 @@ impl<'a> Sim<'a> {
     }
 
     fn on_cpu_check(&mut self) {
-        while let Some((time, id)) = self.cpu.next_completion(self.now) {
+        while let Some((time, id)) = self.cpu.peek_completion() {
             if time > self.now {
                 break;
             }
@@ -482,7 +482,7 @@ impl<'a> Sim<'a> {
     }
 
     fn on_net_check(&mut self) {
-        while let Some((time, flow)) = self.net.next_completion(self.now) {
+        while let Some((time, flow)) = self.net.peek_completion() {
             if time > self.now {
                 break;
             }
@@ -553,11 +553,15 @@ impl<'a> Sim<'a> {
         self.memory_series.set(self.now, self.memory.used() as f64);
     }
 
+    // The reschedulers use the pure peeks: completion times are absolute
+    // and stable between resource mutations, so there is no need to advance
+    // the fluid models on every event just to read the next deadline.
+
     fn reschedule_cpu(&mut self) {
         if let Some(handle) = self.cpu_event.take() {
             self.queue.cancel(handle);
         }
-        if let Some((time, _)) = self.cpu.next_completion(self.now) {
+        if let Some((time, _)) = self.cpu.peek_completion() {
             let time = time.max(self.now);
             self.cpu_event = Some(self.queue.schedule(time, Event::CpuCheck));
         }
@@ -567,7 +571,7 @@ impl<'a> Sim<'a> {
         if let Some(handle) = self.net_event.take() {
             self.queue.cancel(handle);
         }
-        if let Some((time, _)) = self.net.next_completion(self.now) {
+        if let Some((time, _)) = self.net.peek_completion() {
             let time = time.max(self.now);
             self.net_event = Some(self.queue.schedule(time, Event::NetCheck));
         }

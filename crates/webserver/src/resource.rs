@@ -7,17 +7,16 @@
 //! here model both kinds so the engine can exhibit either behaviour
 //! depending on the workload class.
 
-use std::collections::HashMap;
-
 use mfc_simcore::{SimDuration, SimTime};
 use mfc_simnet::{FlowId, FluidLink};
 
 /// A processor-sharing resource (CPU, database executor) built on the same
-/// max–min fluid allocation as the network link.
+/// virtual-time max–min fluid allocation as the network link.
 ///
 /// Capacity is expressed in *work units per second*; each task has a total
 /// amount of work and an optional per-task rate cap (a single task cannot
-/// use more than one core).
+/// use more than one core).  Task ids map one-to-one onto [`FlowId`]s, so
+/// there is no side table to search on the completion hot path.
 ///
 /// # Examples
 ///
@@ -37,8 +36,6 @@ use mfc_simnet::{FlowId, FluidLink};
 pub struct PsResource {
     link: FluidLink,
     per_task_cap: f64,
-    tasks: HashMap<u64, FlowId>,
-    next_flow: u64,
 }
 
 impl PsResource {
@@ -48,8 +45,6 @@ impl PsResource {
         PsResource {
             link: FluidLink::new(capacity.max(f64::EPSILON)),
             per_task_cap: per_task_cap.max(f64::EPSILON),
-            tasks: HashMap::new(),
-            next_flow: 0,
         }
     }
 
@@ -59,35 +54,29 @@ impl PsResource {
     ///
     /// Panics if a task with the same id is already active.
     pub fn add_task(&mut self, id: u64, work: f64, now: SimTime) {
-        assert!(
-            !self.tasks.contains_key(&id),
-            "task {id} already active on this resource"
-        );
-        let flow = FlowId(self.next_flow);
-        self.next_flow += 1;
         self.link
-            .start_flow(flow, work.max(0.0), self.per_task_cap, now);
-        self.tasks.insert(id, flow);
+            .start_flow(FlowId(id), work.max(0.0), self.per_task_cap, now);
     }
 
     /// Returns the time and task id of the next task to finish, if any task
-    /// is active.
+    /// is active.  Pure: does not advance the internal clock.
+    pub fn peek_completion(&self) -> Option<(SimTime, u64)> {
+        self.link
+            .peek_completion()
+            .map(|(time, flow)| (time, flow.0))
+    }
+
+    /// [`Self::peek_completion`] after advancing the clock to `now`.
     pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, u64)> {
-        let (time, flow) = self.link.next_completion(now)?;
-        let id = self
-            .tasks
-            .iter()
-            .find(|(_, f)| **f == flow)
-            .map(|(id, _)| *id)
-            .expect("completed flow maps to a task");
-        Some((time, id))
+        self.link
+            .next_completion(now)
+            .map(|(time, flow)| (time, flow.0))
     }
 
     /// Removes a task (after completion or abandonment); returns the work
     /// it had left.
     pub fn remove_task(&mut self, id: u64, now: SimTime) -> Option<f64> {
-        let flow = self.tasks.remove(&id)?;
-        self.link.finish_flow(flow, now)
+        self.link.finish_flow(FlowId(id), now)
     }
 
     /// Advances the resource's internal clock.
@@ -97,7 +86,7 @@ impl PsResource {
 
     /// Number of active tasks.
     pub fn active(&self) -> usize {
-        self.tasks.len()
+        self.link.active_flows()
     }
 
     /// Current aggregate service rate divided by capacity (0–1 utilization).

@@ -14,7 +14,7 @@ use mfc_core::types::ClientId;
 use mfc_http::{Method, Request, Response, StatusCode, Url};
 use mfc_simcore::stats::{median, percentile};
 use mfc_simcore::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
-use mfc_simnet::{FlowId, FluidLink, TcpModel};
+use mfc_simnet::{FlowId, FluidLink, NaiveFluidLink, TcpModel};
 use mfc_webserver::{
     CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
 };
@@ -266,6 +266,263 @@ fn fluid_link_never_exceeds_capacity_and_conserves_bytes() {
         let total: f64 = sizes.iter().sum();
         assert!((link.bytes_transferred() - total).abs() < total * 1e-6 + 1.0);
     }
+}
+
+// -------------------------------------------------------------------
+// Fluid link: the virtual-time / water-level core must match the retained
+// naive progressive-filling model (the executable specification) on rates,
+// completion times and completion order, across arbitrary interleavings of
+// flow arrivals, departures, cap changes and partial advances.
+// -------------------------------------------------------------------
+
+/// Draws a rate cap: sometimes unlimited, sometimes a broad range, and
+/// sometimes from a small palette so duplicate caps are exercised.
+fn random_cap(rng: &mut SimRng) -> f64 {
+    match rng.index(4) {
+        0 => f64::INFINITY,
+        1 => rng.uniform(5_000.0, 2e6),
+        2 => rng.uniform(100.0, 50_000.0),
+        _ => [50_000.0, 100_000.0, 250_000.0][rng.index(3)],
+    }
+}
+
+/// Relative-tolerance float comparison for rates and byte counts.
+fn assert_close(a: f64, b: f64, what: &str, ctx: &str) {
+    let tol = 1e-6 * a.abs().max(b.abs()) + 1e-6;
+    assert!((a - b).abs() <= tol, "{what} diverged: {a} vs {b} ({ctx})");
+}
+
+/// Completion times are ceil-rounded to microseconds by both models; allow
+/// the rounding step plus float noise proportional to the magnitude.
+fn times_close(a: SimTime, b: SimTime) -> bool {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let tol = 2 + hi.as_micros() / 1_000_000_000;
+    (hi - lo).as_micros() <= tol
+}
+
+/// The naive model's own prediction of when `id` would finish if nothing
+/// changes, computed from its reported remaining bytes and rate after it
+/// has been advanced to `now`.  Used to verify that when the two models
+/// disagree about *which* flow completes next, it is a genuine tie: the
+/// naive model itself expects the fast model's pick to finish at the same
+/// clock tick.  `None` when the flow is stalled (zero rate, bytes left).
+fn naive_predicted_completion(naive: &NaiveFluidLink, id: FlowId, now: SimTime) -> Option<SimTime> {
+    let remaining = naive.remaining_bytes(id)?;
+    if remaining <= 0.0 {
+        return Some(now);
+    }
+    let rate = naive.current_rate(id)?;
+    if rate <= 0.0 {
+        return None;
+    }
+    let micros = (remaining / rate * 1_000_000.0).ceil().max(0.0) as u64;
+    Some(now + SimDuration::from_micros(micros))
+}
+
+/// Compares every active flow's rate and remaining bytes between the two
+/// models.  Flows within a byte of completion are exempt from the rate
+/// check: at that boundary the models may legitimately disagree about
+/// whether the flow has already finished (one sees exactly zero, the other
+/// a sub-byte sliver), and a sub-byte flow's rate has no observable effect.
+fn assert_flows_match(fast: &FluidLink, naive: &NaiveFluidLink, active: &[u64], ctx: &str) {
+    for &id in active {
+        let flow = FlowId(id);
+        let naive_left = naive.remaining_bytes(flow).expect("active in naive");
+        let fast_left = fast.remaining_bytes(flow).expect("active in fast");
+        assert!(
+            (naive_left - fast_left).abs() <= 1e-6 * naive_left.max(fast_left) + 1.0,
+            "remaining bytes diverged for flow {id}: {naive_left} vs {fast_left} ({ctx})"
+        );
+        if naive_left < 1.0 || fast_left < 1.0 {
+            continue;
+        }
+        let naive_rate = naive.current_rate(flow).expect("active in naive");
+        let fast_rate = fast.current_rate(flow).expect("active in fast");
+        assert_close(naive_rate, fast_rate, &format!("rate of flow {id}"), ctx);
+    }
+}
+
+#[test]
+fn fluid_link_matches_naive_reference_under_random_ops() {
+    let mut rng = SimRng::seed_from(0x0601);
+    for case in 0..CASES {
+        let capacity = rng.uniform(1e5, 1e7);
+        let mut fast = FluidLink::new(capacity);
+        let mut naive = NaiveFluidLink::new(capacity);
+        let mut active: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        let mut now = SimTime::ZERO;
+        let ops = rng.index(100) + 40;
+        for op in 0..ops {
+            let ctx = format!("case {case} op {op}");
+            match rng.index(10) {
+                // Arrival.
+                0..=3 => {
+                    let bytes = if rng.chance(0.05) {
+                        0.0
+                    } else {
+                        rng.uniform(1_000.0, 5e6)
+                    };
+                    let cap = random_cap(&mut rng);
+                    let id = next_id;
+                    next_id += 1;
+                    fast.start_flow(FlowId(id), bytes, cap, now);
+                    naive.start_flow(FlowId(id), bytes, cap, now);
+                    active.push(id);
+                }
+                // Timeout-style removal of a random flow.
+                4 => {
+                    if !active.is_empty() {
+                        let id = active.swap_remove(rng.index(active.len()));
+                        let a = naive.finish_flow(FlowId(id), now).expect("active");
+                        let b = fast.finish_flow(FlowId(id), now).expect("active");
+                        assert!(
+                            (a - b).abs() <= 1e-6 * a.max(b) + 1.0,
+                            "returned remaining diverged: {a} vs {b} ({ctx})"
+                        );
+                    }
+                }
+                // Cap change on a random flow.
+                5 => {
+                    if !active.is_empty() {
+                        let id = active[rng.index(active.len())];
+                        let cap = random_cap(&mut rng);
+                        fast.set_rate_cap(FlowId(id), cap, now);
+                        naive.set_rate_cap(FlowId(id), cap, now);
+                    }
+                }
+                // Run to the next completion and retire that flow.
+                6..=7 => {
+                    let naive_next = naive.next_completion(now);
+                    let fast_next = fast.next_completion(now);
+                    match (naive_next, fast_next) {
+                        (None, None) => {}
+                        (Some((tn, idn)), Some((tf, idf))) => {
+                            assert!(
+                                times_close(tn, tf),
+                                "completion times diverged: {tn:?} vs {tf:?} ({ctx})"
+                            );
+                            // The same flow must be next, unless two flows
+                            // complete within clock resolution of each
+                            // other (then the pick order may differ): the
+                            // naive model must agree that the fast model's
+                            // pick also finishes at this same instant.
+                            if idn != idf {
+                                let predicted = naive_predicted_completion(&naive, idf, now)
+                                    .unwrap_or_else(|| panic!("{idf:?} stalled in naive ({ctx})"));
+                                assert!(
+                                    times_close(tn, predicted),
+                                    "different ids without a genuine tie: naive picked {idn:?} \
+                                     at {tn:?} but expects {idf:?} at {predicted:?} ({ctx})"
+                                );
+                            }
+                            now = now.max(tn).max(tf);
+                            let a = naive.finish_flow(idn, now).expect("active");
+                            let b = fast.finish_flow(idn, now).expect("active");
+                            assert!(
+                                a.abs() < 1.0 && b.abs() < 1.0,
+                                "completed flow had bytes left: {a} vs {b} ({ctx})"
+                            );
+                            active.retain(|&x| x != idn.0);
+                        }
+                        (a, b) => panic!("one model has a completion: {a:?} vs {b:?} ({ctx})"),
+                    }
+                }
+                // Advance part-way towards the next completion.
+                _ => {
+                    if let Some((t, _)) = naive.next_completion(now) {
+                        let span = (t - now).as_micros();
+                        now += SimDuration::from_micros(rng.uniform_u64(0, span.max(1)));
+                        naive.advance(now);
+                        fast.advance(now);
+                    }
+                }
+            }
+            assert_flows_match(&fast, &naive, &active, &ctx);
+            assert_close(
+                naive.utilization_bytes_per_sec(),
+                fast.utilization_bytes_per_sec(),
+                "utilization",
+                &ctx,
+            );
+        }
+        // Drain everything, checking completion order as we go.
+        let mut guard = 0;
+        while !active.is_empty() {
+            guard += 1;
+            assert!(guard < 10_000, "case {case}: drain did not terminate");
+            let (tn, idn) = naive
+                .next_completion(now)
+                .expect("active flows must complete");
+            let (tf, idf) = fast.next_completion(now).expect("fast agrees");
+            assert!(
+                times_close(tn, tf),
+                "case {case}: drain completion times diverged: {tn:?} vs {tf:?}"
+            );
+            if idn != idf {
+                // Only simultaneous completions may be ordered differently:
+                // the naive model itself must expect the fast pick to finish
+                // at this same clock tick.
+                let predicted = naive_predicted_completion(&naive, idf, now)
+                    .unwrap_or_else(|| panic!("case {case}: {idf:?} stalled in naive"));
+                assert!(
+                    times_close(tn, predicted),
+                    "case {case}: order broke a non-tie: naive picked {idn:?} at {tn:?} but \
+                     expects {idf:?} at {predicted:?}"
+                );
+            }
+            now = now.max(tn).max(tf);
+            naive.finish_flow(idn, now);
+            fast.finish_flow(idn, now);
+            active.retain(|&x| x != idn.0);
+        }
+        assert_close(
+            naive.bytes_transferred(),
+            fast.bytes_transferred(),
+            "total bytes transferred",
+            &format!("case {case}"),
+        );
+    }
+}
+
+#[test]
+fn fluid_link_ten_thousand_flows_are_deterministic_and_fast() {
+    // A DDoS-scale crowd: 10k concurrent transfers with heterogeneous caps
+    // and staggered arrivals.  Two independent runs must produce the exact
+    // same completion sequence bit for bit (the BTree/treap cores never
+    // iterate in address or hash order).
+    let run = || {
+        let mut rng = SimRng::seed_from(0x0602);
+        let mut link = FluidLink::new(1e9);
+        let n = 10_000u64;
+        let mut now = SimTime::ZERO;
+        for id in 0..n {
+            now += SimDuration::from_micros(rng.uniform_u64(0, 200));
+            link.start_flow(
+                FlowId(id),
+                rng.uniform(10_000.0, 1e6),
+                random_cap(&mut rng),
+                now,
+            );
+        }
+        let mut completions: Vec<(u64, u64)> = Vec::with_capacity(n as usize);
+        while let Some((t, id)) = link.next_completion(now) {
+            now = now.max(t);
+            link.finish_flow(id, now);
+            completions.push((t.as_micros(), id.0));
+        }
+        (completions, link.bytes_transferred().to_bits())
+    };
+    let (completions_a, bytes_a) = run();
+    let (completions_b, bytes_b) = run();
+    assert_eq!(completions_a.len(), 10_000);
+    assert_eq!(
+        completions_a, completions_b,
+        "completion sequence must be bit-stable"
+    );
+    assert_eq!(bytes_a, bytes_b, "byte accounting must be bit-stable");
+    // Completions come out in nondecreasing time order.
+    assert!(completions_a.windows(2).all(|w| w[0].0 <= w[1].0));
 }
 
 // -------------------------------------------------------------------

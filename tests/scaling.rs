@@ -1,0 +1,98 @@
+//! Quick-mode scaling smoke: the virtual-time fluid core must handle a
+//! thousand-flow crowd in interactive time.
+//!
+//! These are coarse wall-clock ceilings, not benchmarks — the real numbers
+//! live in `crates/bench/benches/throughput.rs` and the `BENCH_*.json`
+//! trajectory.  The ceilings are set an order of magnitude above the
+//! expected debug-mode cost so they only trip on a genuine complexity
+//! regression (the old progressive-filling model blows the first ceiling by
+//! minutes, not milliseconds).
+
+use std::time::{Duration, Instant};
+
+use mfc_simcore::{SimDuration, SimRng, SimTime};
+use mfc_simnet::{FlowId, FluidLink};
+use mfc_webserver::{
+    CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
+    WorkerConfig,
+};
+
+#[test]
+fn thousand_flow_link_drains_within_wall_clock_budget() {
+    let started = Instant::now();
+    let mut rng = SimRng::seed_from(0x5CA1);
+    let mut link = FluidLink::new(1e8);
+    let n = 1_000u64;
+    let mut now = SimTime::ZERO;
+    for id in 0..n {
+        now += SimDuration::from_micros(rng.uniform_u64(0, 500));
+        let cap = if rng.chance(0.5) {
+            f64::INFINITY
+        } else {
+            rng.uniform(10_000.0, 1e6)
+        };
+        link.start_flow(FlowId(id), rng.uniform(50_000.0, 2e6), cap, now);
+    }
+    let mut completed = 0u64;
+    while let Some((t, id)) = link.next_completion(now) {
+        now = now.max(t);
+        link.finish_flow(id, now);
+        completed += 1;
+    }
+    assert_eq!(completed, n);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "1k-flow drain took {elapsed:?}; the sharing core has regressed to super-logarithmic \
+         per-event cost"
+    );
+}
+
+#[test]
+fn thousand_request_large_object_crowd_completes_quickly() {
+    let started = Instant::now();
+    // Enough workers to hold the whole crowd on the access link at once —
+    // this is the Large Object stage at DDoS scale, where the old model's
+    // O(C²) reallocation dominated the run time.
+    let config = ServerConfig {
+        workers: WorkerConfig {
+            max_workers: 4_096,
+            listen_queue: 8_192,
+            ..WorkerConfig::default()
+        },
+        ..ServerConfig::lab_apache()
+    };
+    let engine = ServerEngine::new(config, ContentCatalog::lab_validation());
+    let mut cache = CacheState::new();
+    // Warm the object cache so the disk stays out of the picture.
+    let warm = ServerRequest {
+        id: 0,
+        arrival: SimTime::ZERO,
+        class: RequestClass::Static,
+        path: "/objects/large_100k.bin".to_string(),
+        client_downlink: 1e8,
+        client_rtt: SimDuration::from_millis(40),
+        background: false,
+    };
+    engine.run(vec![warm.clone()], &mut cache);
+    let crowd: Vec<ServerRequest> = (0..1_000)
+        .map(|i| ServerRequest {
+            id: i + 1,
+            arrival: SimTime::ZERO + SimDuration::from_micros(i * 50),
+            ..warm.clone()
+        })
+        .collect();
+    let result = engine.run(crowd, &mut cache);
+    assert_eq!(result.outcomes.len(), 1_000);
+    assert!(
+        result.outcomes.iter().all(|o| o.is_ok()),
+        "every transfer in the crowd must complete"
+    );
+    // All bytes crossed the link (sub-byte fluid rounding allowed per flow).
+    assert!(result.utilization.network_bytes_sent >= 1_000 * 100 * 1024 - 1_000);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "1k-request large-object crowd took {elapsed:?}"
+    );
+}
