@@ -1,0 +1,20 @@
+//! Times the quick-scale defended-target scenario matrix and prints its
+//! table once — the dynamics analogue of the table benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::dynamics_matrix;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = dynamics_matrix::run(Scale::Quick, 91);
+    println!("{}", result.render_text());
+    let mut group = c.benchmark_group("dynamics_matrix");
+    group.sample_size(10);
+    group.bench_function("quick", |b| {
+        b.iter(|| dynamics_matrix::run(Scale::Quick, 91));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

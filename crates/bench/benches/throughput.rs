@@ -131,6 +131,7 @@ fn engine_large_object_crowd(n: u64) -> u64 {
             path: "/objects/large_100k.bin".to_string(),
             client_downlink: 1e8,
             client_rtt: SimDuration::from_millis(40),
+            client_addr: i as u32,
             background: false,
         })
         .collect();

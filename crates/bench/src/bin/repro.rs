@@ -24,7 +24,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use mfc_bench::experiments::{
-    ablation, fig3, fig4, fig5, fig6, rank_figs, special_tables, table1, table2, table3,
+    ablation, dynamics_matrix, fig3, fig4, fig5, fig6, rank_figs, special_tables, table1, table2,
+    table3,
 };
 use mfc_bench::Scale;
 use mfc_core::types::Stage;
@@ -33,7 +34,7 @@ const SEED: u64 = 20080622;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "fig7", "fig8", "fig9", "table4",
-    "table5", "ablation",
+    "table5", "ablation", "dynamics",
 ];
 
 fn usage() -> ! {
@@ -101,6 +102,11 @@ fn run_one(name: &str, scale: Scale, json_dir: &Option<PathBuf>) -> std::time::D
         }
         "table3" => {
             let result = table3::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "dynamics" => {
+            let result = dynamics_matrix::run(scale, SEED);
             print!("{}", result.render_text());
             write_json(json_dir, name, &result);
         }

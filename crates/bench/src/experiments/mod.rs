@@ -12,8 +12,10 @@
 //! | [`rank_figs`] | Figures 7–9 | stopping-size breakdowns across Quantcast rank classes |
 //! | [`special_tables`] | Tables 4–5 | startup and phishing server breakdowns |
 //! | [`ablation`] | (ours) | value of delay-compensated scheduling and the 90th-percentile detector |
+//! | [`dynamics_matrix`] | (ours) | Table 1–3 site configs vs. reactive defenses (autoscaling, shedding, rate limiting) |
 
 pub mod ablation;
+pub mod dynamics_matrix;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

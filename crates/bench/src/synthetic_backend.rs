@@ -53,6 +53,7 @@ impl SyntheticBackend {
             path: path.to_string(),
             client_downlink: profile.downlink,
             client_rtt: profile.rtt_target,
+            client_addr: client as u32,
             background: false,
         }
     }

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use mfc_dynamics::{DefenseConfig, DefenseStack};
 use mfc_simcore::{SimDuration, SimRng, SimTime};
 use mfc_simnet::{ControlChannel, PopulationProfile, WideAreaModel};
 use mfc_webserver::{
@@ -42,6 +43,10 @@ pub struct SimTargetSpec {
     pub control_loss: f64,
     /// Wide-area population the MFC clients are drawn from.
     pub population: PopulationProfile,
+    /// Reactive defenses the target runs (autoscaling, admission control,
+    /// rate limiting, capacity schedules).  Static by default — the
+    /// paper's assumption.
+    pub defenses: DefenseConfig,
 }
 
 impl SimTargetSpec {
@@ -55,6 +60,7 @@ impl SimTargetSpec {
             background: BackgroundTraffic::idle(),
             control_loss: 0.01,
             population: PopulationProfile::planetlab(),
+            defenses: DefenseConfig::none(),
         }
     }
 
@@ -83,6 +89,21 @@ impl SimTargetSpec {
     pub fn with_population(mut self, population: PopulationProfile) -> Self {
         self.population = population;
         self
+    }
+
+    /// Arms the target with reactive defenses.  When an autoscaler is part
+    /// of the stack, the serving cluster starts at its replica floor
+    /// (overriding `replicas`); the defense state — bucket fill levels,
+    /// provisioned replicas, fired schedule steps — persists across the
+    /// epochs of an MFC run, exactly like a real deployment's.
+    pub fn with_defenses(mut self, defenses: DefenseConfig) -> Self {
+        self.defenses = defenses;
+        self
+    }
+
+    /// True when no defense policy is enabled.
+    pub fn is_static_target(&self) -> bool {
+        self.defenses.is_static()
     }
 }
 
@@ -135,6 +156,9 @@ pub struct SimBackend {
     wan: WideAreaModel,
     control: ControlChannel,
     target: Target,
+    /// The runtime defense stack, kept across epochs; `None` for static
+    /// targets.
+    defense: Option<DefenseStack>,
     clock: SimTime,
     rng: SimRng,
     /// Base response times recorded by each client during the sequential
@@ -153,11 +177,20 @@ impl SimBackend {
         let rng = SimRng::seed_from(seed);
         let wan = WideAreaModel::generate(&spec.population, client_count, &rng);
         let control = ControlChannel::new(spec.control_loss, 0.05, rng.fork("control"));
-        let target = if spec.replicas > 1 {
+        let defended = !spec.defenses.is_static();
+        let replicas = if defended {
+            spec.defenses.initial_replicas(spec.replicas)
+        } else {
+            spec.replicas
+        };
+        // A defended target always runs through the cluster's controlled
+        // sweep (an autoscaler needs replica routing even when it starts
+        // from one machine).
+        let target = if replicas > 1 || defended {
             Target::Cluster(ServerCluster::new(
                 spec.server.clone(),
                 spec.catalog.clone(),
-                spec.replicas,
+                replicas,
             ))
         } else {
             Target::Single {
@@ -165,11 +198,17 @@ impl SimBackend {
                 cache: CacheState::new(),
             }
         };
+        let defense = if defended {
+            Some(spec.defenses.build())
+        } else {
+            None
+        };
         SimBackend {
             spec,
             wan,
             control,
             target,
+            defense,
             clock: SimTime::ZERO,
             rng,
             base_times: HashMap::new(),
@@ -205,9 +244,13 @@ impl SimBackend {
     }
 
     fn run_target(&mut self, requests: Vec<ServerRequest>) -> mfc_webserver::engine::RunResult {
-        match &mut self.target {
-            Target::Single { engine, cache } => engine.run(requests, cache),
-            Target::Cluster(cluster) => cluster.run(requests),
+        match (&mut self.target, &mut self.defense) {
+            (Target::Single { engine, cache }, None) => engine.run(requests, cache),
+            (Target::Single { engine, cache }, Some(stack)) => {
+                engine.run_controlled(requests, cache, stack)
+            }
+            (Target::Cluster(cluster), None) => cluster.run(requests),
+            (Target::Cluster(cluster), Some(stack)) => cluster.run_controlled(requests, stack),
         }
     }
 
@@ -221,8 +264,11 @@ impl SimBackend {
     fn probe_status(status: RequestStatus) -> ProbeStatus {
         match status {
             RequestStatus::Ok => ProbeStatus::Ok,
-            RequestStatus::Refused => ProbeStatus::HttpError(503),
+            // A refused connection never gets an HTTP response: the client
+            // sees a TCP-level failure, not a status code.
+            RequestStatus::Refused => ProbeStatus::ConnectionRefused,
             RequestStatus::NotFound => ProbeStatus::HttpError(404),
+            RequestStatus::Shed => ProbeStatus::HttpError(503),
         }
     }
 }
@@ -262,6 +308,7 @@ impl MfcBackend for SimBackend {
             path: request.path.clone(),
             client_downlink: profile.downlink,
             client_rtt: profile.rtt_target,
+            client_addr: client.0,
             background: false,
         };
         let result = self.run_target(vec![server_request]);
@@ -312,6 +359,7 @@ impl MfcBackend for SimBackend {
                 path: command.request.path.clone(),
                 client_downlink: profile.downlink,
                 client_rtt: profile.rtt_target,
+                client_addr: command.client.0,
                 background: false,
             });
             issued.push((

@@ -357,6 +357,71 @@ impl Coordinator {
         let arrival_spread_90 =
             mfc_webserver::request::central_spread(&observation.target_arrivals, 0.9);
 
+        // Defense-fingerprint observables (used by the inference layer to
+        // tell a fighting-back server from a genuinely constrained one).
+        let samples = observation
+            .observations
+            .iter()
+            .filter(|o| o.status.produced_sample())
+            .count();
+        let errors = observation
+            .observations
+            .iter()
+            // Server errors only: a 503 is what a shedding defense sends;
+            // 4xx responses (missing paths, auth walls) are not evidence of
+            // load shedding.
+            .filter(
+                |o| matches!(o.status, crate::types::ProbeStatus::HttpError(code) if code >= 500),
+            )
+            .count();
+        let error_rate = if samples > 0 {
+            errors as f64 / samples as f64
+        } else {
+            0.0
+        };
+        // Timed-out transfers still contribute: bytes/timeout is an
+        // *optimistic* per-client goodput bound, which keeps the clamp
+        // fingerprint visible even when a harsh limiter starves every
+        // probe past the client timeout (under a genuinely saturated link
+        // the same bound sums to roughly the link capacity, so it does not
+        // create false defense flags).
+        let goodputs: Vec<f64> = observation
+            .observations
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.status,
+                    crate::types::ProbeStatus::Ok | crate::types::ProbeStatus::TimedOut
+                ) && o.bytes > 0
+                    && o.response_time > SimDuration::ZERO
+            })
+            .map(|o| o.bytes as f64 / o.response_time.as_secs_f64())
+            .collect();
+        let (client_goodput_median, client_goodput_cov, aggregate_goodput) = if goodputs.is_empty()
+        {
+            (None, None, None)
+        } else {
+            let mut spread = stats::OnlineStats::new();
+            for &goodput in &goodputs {
+                spread.push(goodput);
+            }
+            let cov = if spread.mean() > 0.0 {
+                spread.std_dev() / spread.mean()
+            } else {
+                0.0
+            };
+            (
+                stats::median(&goodputs),
+                Some(cov),
+                Some(goodputs.iter().sum()),
+            )
+        };
+        let link_capacity = observation
+            .server_utilization
+            .as_ref()
+            .map(|u| u.link_capacity)
+            .filter(|&c| c > 0.0);
+
         let summary = EpochSummary {
             index,
             crowd_size: plan.crowd_size(),
@@ -366,6 +431,11 @@ impl Coordinator {
             median_ms,
             check_phase,
             arrival_spread_90,
+            error_rate,
+            client_goodput_median,
+            client_goodput_cov,
+            aggregate_goodput,
+            link_capacity,
         };
         (summary, observation)
     }
@@ -508,6 +578,165 @@ mod tests {
                 "a stopped stage must have run at least one check epoch"
             );
         }
+    }
+
+    #[test]
+    fn thin_link_stop_is_attributed_to_a_real_constraint() {
+        let mut backend = lab_backend(60, 3);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::LargeObject])
+            .with_max_crowd(50)
+            .with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        assert!(report.stages[0].outcome.stopping_crowd().is_some());
+        assert_eq!(
+            report.inference.cause_of(Stage::LargeObject),
+            Some(crate::inference::DegradationCause::ResourceConstraint),
+            "a genuinely saturated 10 Mbit/s link must not be flagged as a defense"
+        );
+        assert!(!report.inference.defense_suspected());
+    }
+
+    #[test]
+    fn rate_limited_target_is_flagged_as_defense_not_constraint() {
+        // A target whose link could absorb every tested crowd, but whose
+        // per-client token buckets clamp repeat probers to 16 KB/s after a
+        // single free request.  The MFC sees a textbook "bandwidth
+        // constraint": large-object response times blow past θ at every
+        // crowd.  The inference must not fall for it.
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::validation_server(),
+            ContentCatalog::lab_validation(),
+        )
+        .with_defenses(mfc_dynamics::DefenseConfig::rate_limited(
+            1.0,
+            0.002,
+            16.0 * 1024.0,
+        ));
+        let mut backend = SimBackend::new(spec, 60, 21);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::LargeObject])
+            .with_max_crowd(40)
+            .with_increment(10);
+        let report = Coordinator::new(config)
+            .with_seed(4)
+            .run(&mut backend)
+            .unwrap();
+        let stage = &report.stages[0];
+        assert!(
+            stage.outcome.stopping_crowd().is_some(),
+            "the clamp must trip the detector: {:?}",
+            stage.outcome
+        );
+        assert_eq!(
+            report.inference.cause_of(Stage::LargeObject),
+            Some(crate::inference::DegradationCause::RateLimitDefense),
+            "clamped goodputs over an idle link are a defense, not a constraint"
+        );
+        assert!(report.inference.defense_suspected());
+        assert!(report
+            .inference
+            .notes
+            .iter()
+            .any(|n| n.contains("rate-limit")));
+        // The fingerprint itself: tight goodput dispersion, huge headroom.
+        let tail = stage.epochs.last().unwrap();
+        assert!(tail.client_goodput_cov.unwrap() < 0.3, "{tail:?}");
+        assert!(
+            tail.aggregate_goodput.unwrap() < 0.5 * tail.link_capacity.unwrap(),
+            "{tail:?}"
+        );
+    }
+
+    #[test]
+    fn shedding_target_masks_the_nostop_verdict() {
+        // An admission controller with a 15-requests-per-second surge
+        // budget sheds most of every larger crowd with fast 503s.  The
+        // response-time detector alone would read that as a healthy
+        // NoStop; the inference must flag it as defense-masked.
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+        )
+        .with_defenses(mfc_dynamics::DefenseConfig::shedding(15));
+        let mut backend = SimBackend::new(spec, 60, 8);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(40)
+            .with_increment(10);
+        let report = Coordinator::new(config)
+            .with_seed(2)
+            .run(&mut backend)
+            .unwrap();
+        let stage = &report.stages[0];
+        assert_eq!(
+            report.inference.cause_of(Stage::Base),
+            Some(crate::inference::DegradationCause::LoadSheddingDefense),
+            "outcome {:?} with epochs {:?}",
+            stage.outcome,
+            stage.epochs.last()
+        );
+        assert!(report.inference.defense_suspected());
+        // The shed fraction in the biggest epochs is substantial.
+        assert!(stage.epochs.last().unwrap().error_rate >= 0.25);
+    }
+
+    #[test]
+    fn listen_queue_refusals_are_not_mistaken_for_shedding() {
+        // A genuinely under-provisioned static server: 4 workers and a
+        // 4-slot listen queue refuse most of every larger crowd at TCP
+        // level.  Refusals are connection failures, not 503s, so the
+        // inference must not attribute the outcome to a shedding defense.
+        let spec = SimTargetSpec::single_server(
+            ServerConfig {
+                workers: mfc_webserver::WorkerConfig {
+                    max_workers: 4,
+                    listen_queue: 4,
+                    ..mfc_webserver::WorkerConfig::default()
+                },
+                ..ServerConfig::lab_apache()
+            },
+            ContentCatalog::lab_validation(),
+        );
+        let mut backend = SimBackend::new(spec, 60, 17);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(40)
+            .with_increment(10);
+        let report = Coordinator::new(config)
+            .with_seed(3)
+            .run(&mut backend)
+            .unwrap();
+        let stage = &report.stages[0];
+        // Most of the big crowds were refused...
+        let refused_heavy = stage.epochs.iter().any(|e| e.crowd_size >= 30);
+        assert!(refused_heavy, "{:?}", stage.epochs);
+        // ...yet no defense is claimed: refusals are not HTTP errors.
+        assert_ne!(
+            report.inference.cause_of(Stage::Base),
+            Some(crate::inference::DegradationCause::LoadSheddingDefense),
+            "TCP refusals misread as a shedding defense: {:?}",
+            stage.epochs.last()
+        );
+        assert!(!report.inference.defense_suspected());
+        assert!(stage.epochs.iter().all(|e| e.error_rate == 0.0));
+    }
+
+    #[test]
+    fn defended_runs_are_deterministic() {
+        let run = || {
+            let spec = SimTargetSpec::single_server(
+                ServerConfig::lab_apache(),
+                ContentCatalog::lab_validation(),
+            )
+            .with_defenses(mfc_dynamics::DefenseConfig::fortress(1, 4));
+            let mut backend = SimBackend::new(spec, 55, 13);
+            Coordinator::new(MfcConfig::standard().with_max_crowd(25).with_increment(10))
+                .with_seed(5)
+                .run(&mut backend)
+                .unwrap()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::MfcConfig;
 use crate::report::StageReport;
-use crate::types::{Stage, StageOutcome};
+use crate::types::{EpochSummary, Stage, StageOutcome};
 
 /// The coordinator's verdict for one sub-system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +53,45 @@ impl Provisioning {
     }
 }
 
+/// What a stage's outcome is attributed to once the defense fingerprints
+/// are taken into account.
+///
+/// The paper's methodology assumes the target is *static*: any persistent
+/// response-time degradation is read as a resource constraint.  A reacting
+/// server breaks that assumption in two directions, and both are visible in
+/// the per-epoch observables:
+///
+/// * a **per-client rate limiter** clamps every probe client's throughput
+///   to one common ceiling, so response times blow past θ while the
+///   server's aggregate link sits nearly idle — the MFC would report a
+///   bandwidth constraint that is not there;
+/// * a **load-shedding** defense answers the excess crowd with fast 503s,
+///   which the response-time detector reads as a *healthy* server — the
+///   MFC would report NoStop for a site that is refusing service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationCause {
+    /// The degradation pattern matches a genuine resource constraint.
+    ResourceConstraint,
+    /// The degradation bears the per-client rate-limit signature: client
+    /// goodputs clamp to a common ceiling (low dispersion) while the
+    /// delivered aggregate stays far below the known link capacity.
+    ///
+    /// The signature is necessary but not sufficient: a non-link bottleneck
+    /// that serializes large transfers while a fat link idles (a CPU- or
+    /// disk-starved file server) produces the same remote observables.
+    /// Treat this verdict as "not a bandwidth constraint; most plausibly a
+    /// per-client limiter", and cross-check the server-side utilization
+    /// report where one is available.
+    RateLimitDefense,
+    /// The outcome is dominated by deliberate 503 shedding; for a NoStop
+    /// outcome this means the verdict is defense-masked, not healthy.
+    LoadSheddingDefense,
+    /// No confirmed degradation and no defense fingerprints.
+    NotDegraded,
+    /// Not enough evidence (stage skipped, or no epoch produced samples).
+    Indeterminate,
+}
+
 /// The verdict for one stage / sub-system pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Constraint {
@@ -62,6 +101,9 @@ pub struct Constraint {
     pub subsystem: String,
     /// The verdict.
     pub provisioning: Provisioning,
+    /// What the outcome is attributed to — a real constraint, or a server
+    /// defense reacting to the probe.
+    pub cause: DegradationCause,
 }
 
 /// Exposure to low-rate application-level denial of service (§6).
@@ -109,6 +151,7 @@ impl InferenceReport {
                     },
                     StageOutcome::Skipped => Provisioning::Unknown,
                 },
+                cause: Self::assess_cause(report),
             })
             .collect();
 
@@ -136,6 +179,79 @@ impl InferenceReport {
             .iter()
             .find(|c| c.stage == stage)
             .map(|c| c.provisioning)
+    }
+
+    /// Finds the attributed cause for a stage, if that stage was evaluated.
+    pub fn cause_of(&self, stage: Stage) -> Option<DegradationCause> {
+        self.constraints
+            .iter()
+            .find(|c| c.stage == stage)
+            .map(|c| c.cause)
+    }
+
+    /// True when any stage's outcome is attributed to a server defense
+    /// rather than a resource constraint.
+    pub fn defense_suspected(&self) -> bool {
+        self.constraints.iter().any(|c| {
+            matches!(
+                c.cause,
+                DegradationCause::RateLimitDefense | DegradationCause::LoadSheddingDefense
+            )
+        })
+    }
+
+    /// Minimum fraction of HTTP-error samples in the assessed tail epochs
+    /// above which an outcome is attributed to load shedding.
+    const SHED_RATE_THRESHOLD: f64 = 0.25;
+    /// Maximum goodput coefficient of variation for the "everyone clamps
+    /// to one ceiling" half of the rate-limit signature.
+    const CLAMP_COV_THRESHOLD: f64 = 0.3;
+    /// Maximum delivered-aggregate / link-capacity ratio for the "the link
+    /// was never the problem" half of the rate-limit signature.
+    const CLAMP_HEADROOM_THRESHOLD: f64 = 0.5;
+
+    /// Attributes a stage outcome by fingerprinting its final epochs.
+    fn assess_cause(report: &StageReport) -> DegradationCause {
+        let epochs: Vec<&EpochSummary> = report
+            .epochs
+            .iter()
+            .filter(|e| e.requests_observed > 0)
+            .collect();
+        if epochs.is_empty() {
+            return DegradationCause::Indeterminate;
+        }
+        // The last three epochs cover the triggering epoch plus its check
+        // phase — the evidence the stopping verdict actually rests on.
+        let tail = &epochs[epochs.len().saturating_sub(3)..];
+        let shed_rate = tail.iter().map(|e| e.error_rate).sum::<f64>() / tail.len() as f64;
+        if shed_rate >= Self::SHED_RATE_THRESHOLD {
+            return DegradationCause::LoadSheddingDefense;
+        }
+        let stopped = matches!(report.outcome, StageOutcome::Stopped { .. });
+        if !stopped {
+            return DegradationCause::NotDegraded;
+        }
+        // The clamp signature needs bandwidth-bound transfers, so it is
+        // only diagnostic for the Large Object stage.  Any tail epoch
+        // bearing the signature suffices — a stray client whose bucket
+        // refilled mid-check-phase must not hide the clamp behind one
+        // high-variance epoch.  (Under a genuine constraint no epoch shows
+        // clamped goodputs *and* link headroom, so this stays safe.)
+        if report.stage == Stage::LargeObject {
+            let clamped = tail.iter().any(|e| {
+                match (e.client_goodput_cov, e.aggregate_goodput, e.link_capacity) {
+                    (Some(cov), Some(aggregate), Some(capacity)) if capacity > 0.0 => {
+                        cov < Self::CLAMP_COV_THRESHOLD
+                            && aggregate / capacity < Self::CLAMP_HEADROOM_THRESHOLD
+                    }
+                    _ => false,
+                }
+            });
+            if clamped {
+                return DegradationCause::RateLimitDefense;
+            }
+        }
+        DegradationCause::ResourceConstraint
     }
 
     fn assess_ddos(constraints: &[Constraint]) -> DdosExposure {
@@ -195,6 +311,38 @@ impl InferenceReport {
             }
         }
 
+        // Defense fingerprints: where the static-target assumption broke.
+        for c in constraints {
+            match c.cause {
+                DegradationCause::RateLimitDefense => notes.push(format!(
+                    "{} stage: the confirmed degradation bears a per-client rate-limit \
+                     signature — every client's throughput clamps to one common ceiling while \
+                     the access link runs far below capacity.  This is a defense reacting to \
+                     the probe, not a {} constraint.",
+                    c.stage.name(),
+                    c.subsystem
+                )),
+                DegradationCause::LoadSheddingDefense => match c.provisioning {
+                    Provisioning::Unconstrained { .. } => notes.push(format!(
+                        "{} stage: the NoStop verdict is defense-masked — a large share of \
+                         probes were answered with fast 503s, which the response-time detector \
+                         reads as a healthy server.  The site is shedding load, not absorbing it.",
+                        c.stage.name()
+                    )),
+                    _ => notes.push(format!(
+                        "{} stage: the outcome is dominated by deliberate 503 load shedding; \
+                         the stopping crowd reflects an admission-control policy, not the \
+                         capacity of the {}.",
+                        c.stage.name(),
+                        c.subsystem
+                    )),
+                },
+                DegradationCause::ResourceConstraint
+                | DegradationCause::NotDegraded
+                | DegradationCause::Indeterminate => {}
+            }
+        }
+
         // Comparative observations mirroring the paper's discussions.
         let get = |stage: Stage| {
             constraints
@@ -240,6 +388,28 @@ mod tests {
             outcome,
             epochs: Vec::new(),
             requests_issued: 0,
+        }
+    }
+
+    fn epoch(crowd: usize, error_rate: f64, goodputs: Option<(f64, f64, f64)>) -> EpochSummary {
+        let (median, cov, aggregate) = match goodputs {
+            Some((m, c, a)) => (Some(m), Some(c), Some(a)),
+            None => (None, None, None),
+        };
+        EpochSummary {
+            index: 1,
+            crowd_size: crowd,
+            requests_scheduled: crowd,
+            requests_observed: crowd,
+            detector_ms: 500.0,
+            median_ms: 500.0,
+            check_phase: false,
+            arrival_spread_90: None,
+            error_rate,
+            client_goodput_median: median,
+            client_goodput_cov: cov,
+            aggregate_goodput: aggregate,
+            link_capacity: Some(1_250_000.0),
         }
     }
 
@@ -344,6 +514,82 @@ mod tests {
         ];
         let inference = InferenceReport::from_stages(&stages, &config());
         assert_eq!(inference.ddos_exposure, DdosExposure::Unknown);
+    }
+
+    #[test]
+    fn clamped_goodputs_over_an_idle_link_read_as_rate_limiting() {
+        // 30 clients all at ~16 KB/s (cov 0.05) summing to 480 KB/s on a
+        // 1.25 MB/s link: the clamp signature.
+        let mut report = stage_report(Stage::LargeObject, StageOutcome::Stopped { crowd_size: 30 });
+        report.epochs = vec![
+            epoch(10, 0.0, Some((16_384.0, 0.05, 163_840.0))),
+            epoch(30, 0.0, Some((16_384.0, 0.05, 491_520.0))),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::LargeObject),
+            Some(DegradationCause::RateLimitDefense)
+        );
+        assert!(inference.defense_suspected());
+    }
+
+    #[test]
+    fn saturated_link_reads_as_a_real_constraint() {
+        // Fair sharing also yields uniform goodputs — but the aggregate
+        // sits at the link capacity, so it is a genuine constraint.
+        let mut report = stage_report(Stage::LargeObject, StageOutcome::Stopped { crowd_size: 30 });
+        report.epochs = vec![epoch(30, 0.0, Some((40_000.0, 0.08, 1_200_000.0)))];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::LargeObject),
+            Some(DegradationCause::ResourceConstraint)
+        );
+        assert!(!inference.defense_suspected());
+    }
+
+    #[test]
+    fn heavy_error_rates_read_as_load_shedding_even_on_nostop() {
+        let mut report = stage_report(
+            Stage::Base,
+            StageOutcome::NoStop {
+                max_crowd_tested: 40,
+            },
+        );
+        report.epochs = vec![epoch(20, 0.1, None), epoch(40, 0.6, None)];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::LoadSheddingDefense)
+        );
+        assert!(inference.notes.iter().any(|n| n.contains("defense-masked")));
+    }
+
+    #[test]
+    fn clean_outcomes_keep_quiet_causes() {
+        let mut stopped = stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 25 });
+        stopped.epochs = vec![epoch(25, 0.0, None)];
+        let mut nostop = stage_report(
+            Stage::SmallQuery,
+            StageOutcome::NoStop {
+                max_crowd_tested: 40,
+            },
+        );
+        nostop.epochs = vec![epoch(40, 0.0, None)];
+        let skipped = stage_report(Stage::LargeObject, StageOutcome::Skipped);
+        let inference = InferenceReport::from_stages(&[stopped, nostop, skipped], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::ResourceConstraint)
+        );
+        assert_eq!(
+            inference.cause_of(Stage::SmallQuery),
+            Some(DegradationCause::NotDegraded)
+        );
+        assert_eq!(
+            inference.cause_of(Stage::LargeObject),
+            Some(DegradationCause::Indeterminate)
+        );
+        assert!(!inference.defense_suspected());
     }
 
     #[test]

@@ -133,6 +133,11 @@ mod tests {
             median_ms: detector,
             check_phase: check,
             arrival_spread_90: Some(SimDuration::from_millis(200)),
+            error_rate: 0.0,
+            client_goodput_median: None,
+            client_goodput_cov: None,
+            aggregate_goodput: None,
+            link_capacity: None,
         }
     }
 

@@ -133,6 +133,12 @@ pub enum ProbeStatus {
     Ok,
     /// A complete response with an error status (4xx/5xx) was received.
     HttpError(u16),
+    /// The TCP connection was refused or reset before any HTTP response —
+    /// a listen-queue overflow at the target.  Remotely distinguishable
+    /// from an HTTP error (no status line ever arrives), and kept distinct
+    /// so that genuine connection-capacity exhaustion is not mistaken for
+    /// a 503-shedding *defense* by the inference layer.
+    ConnectionRefused,
     /// The request was killed by the client-side timeout.
     TimedOut,
     /// The command never reached the client (lost control message) or the
@@ -229,6 +235,25 @@ pub struct EpochSummary {
     /// Spread of the middle 90% of target arrival times, when logs were
     /// available (Table 2's synchronization metric).
     pub arrival_spread_90: Option<SimDuration>,
+    /// Fraction of produced samples that were HTTP *server* errors (5xx —
+    /// what a shedding defense sends; 4xx client errors and TCP refusals
+    /// are excluded).  A spike here with a *low* detector statistic is the
+    /// fingerprint of a load-shedding defense: 503s come back fast, so the
+    /// response-time detector alone reads a shedding server as healthy.
+    pub error_rate: f64,
+    /// Median per-client goodput (body bytes / response time, bytes/s) over
+    /// successful responses with a body; `None` when no such response.
+    pub client_goodput_median: Option<f64>,
+    /// Coefficient of variation of the per-client goodputs.  Near zero
+    /// means every client's throughput clamped to one common ceiling.
+    pub client_goodput_cov: Option<f64>,
+    /// Sum of the per-client goodputs — for a synchronized burst this
+    /// estimates the aggregate throughput the server actually delivered
+    /// while the transfers overlapped.
+    pub aggregate_goodput: Option<f64>,
+    /// The target's aggregate outbound link capacity in bytes/s, when the
+    /// target is instrumented (simulation, or a cooperating operator).
+    pub link_capacity: Option<f64>,
 }
 
 /// How a stage ended.
@@ -328,6 +353,7 @@ mod tests {
         assert!(ProbeStatus::Ok.produced_sample());
         assert!(ProbeStatus::TimedOut.produced_sample());
         assert!(ProbeStatus::HttpError(503).produced_sample());
+        assert!(ProbeStatus::ConnectionRefused.produced_sample());
         assert!(!ProbeStatus::Failed.produced_sample());
     }
 

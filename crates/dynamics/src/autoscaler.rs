@@ -1,0 +1,203 @@
+//! Cloud-style horizontal autoscaling.
+
+use mfc_simcore::{SimDuration, SimTime};
+use mfc_webserver::{ControlAction, TickSample};
+use serde::{Deserialize, Serialize};
+
+use crate::policy::DynamicsPolicy;
+
+/// Parameters of an [`AutoScaler`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoScalerConfig {
+    /// Replicas the service never shrinks below (also the initial count —
+    /// construct the cluster with this many replicas).
+    pub min_replicas: usize,
+    /// Replicas the service never grows beyond.
+    pub max_replicas: usize,
+    /// Mean in-flight requests per replica above which a scale-up is
+    /// requested.
+    pub scale_up_load: f64,
+    /// Mean in-flight requests per replica below which a scale-down is
+    /// requested.
+    pub scale_down_load: f64,
+    /// Time between a scale-up decision and the new replica becoming
+    /// routable (instance boot + registration — the "provisioning lag"
+    /// that makes autoscaling useless against short synchronized bursts).
+    pub provisioning_lag: SimDuration,
+    /// Minimum spacing between scaling decisions.
+    pub cooldown: SimDuration,
+}
+
+impl Default for AutoScalerConfig {
+    fn default() -> Self {
+        AutoScalerConfig {
+            min_replicas: 1,
+            max_replicas: 8,
+            scale_up_load: 32.0,
+            scale_down_load: 4.0,
+            provisioning_lag: SimDuration::from_secs(3),
+            cooldown: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Adds and removes cluster replicas against an in-flight load target.
+///
+/// Scale-ups pass through a pending queue that matures after the
+/// provisioning lag; scale-downs take effect at the next tick (the replica
+/// finishes its in-flight work but receives no new traffic).  The scaler's
+/// notion of the routable count persists across runs, like a real
+/// deployment's.
+#[derive(Debug, Clone)]
+pub struct AutoScaler {
+    config: AutoScalerConfig,
+    /// Replicas currently routable (from this scaler's point of view).
+    target: usize,
+    /// Boot-completion times of replicas being provisioned, in decision
+    /// order.
+    pending: Vec<SimTime>,
+    /// Last time a scaling decision was made.
+    last_decision: Option<SimTime>,
+}
+
+impl AutoScaler {
+    /// Creates a scaler starting at `config.min_replicas`.
+    pub fn new(config: AutoScalerConfig) -> Self {
+        let target = config.min_replicas.max(1);
+        AutoScaler {
+            config,
+            target,
+            pending: Vec::new(),
+            last_decision: None,
+        }
+    }
+
+    /// Replicas currently routable from the scaler's point of view
+    /// (excludes pending boots).
+    pub fn routable(&self) -> usize {
+        self.target
+    }
+
+    /// Replicas booting but not yet routable.
+    pub fn provisioning(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn cooled_down(&self, now: SimTime) -> bool {
+        match self.last_decision {
+            Some(at) => now.saturating_since(at) >= self.config.cooldown,
+            None => true,
+        }
+    }
+}
+
+impl DynamicsPolicy for AutoScaler {
+    fn name(&self) -> &'static str {
+        "autoscaler"
+    }
+
+    fn on_tick(&mut self, now: SimTime, sample: &TickSample, actions: &mut Vec<ControlAction>) {
+        // Mature any boots that completed.
+        let matured = self.pending.iter().filter(|&&ready| ready <= now).count();
+        if matured > 0 {
+            self.pending.drain(..matured);
+            self.target = (self.target + matured).min(self.config.max_replicas);
+            actions.push(ControlAction::SetReplicas(self.target));
+        }
+
+        let load = sample.in_flight_per_replica();
+        if load > self.config.scale_up_load
+            && self.target + self.pending.len() < self.config.max_replicas
+            && self.cooled_down(now)
+        {
+            self.pending.push(now + self.config.provisioning_lag);
+            self.last_decision = Some(now);
+        } else if load < self.config.scale_down_load
+            && self.pending.is_empty()
+            && self.target > self.config.min_replicas.max(1)
+            && self.cooled_down(now)
+        {
+            self.target -= 1;
+            self.last_decision = Some(now);
+            actions.push(ControlAction::SetReplicas(self.target));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn sample(now: SimTime, replicas: usize, in_flight: u64) -> TickSample {
+        TickSample {
+            in_flight,
+            ..TickSample::idle(now, replicas)
+        }
+    }
+
+    fn config() -> AutoScalerConfig {
+        AutoScalerConfig {
+            min_replicas: 2,
+            max_replicas: 4,
+            scale_up_load: 10.0,
+            scale_down_load: 2.0,
+            provisioning_lag: SimDuration::from_secs(3),
+            cooldown: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn scale_up_waits_for_the_provisioning_lag() {
+        let mut scaler = AutoScaler::new(config());
+        assert_eq!(scaler.routable(), 2);
+        let mut actions = Vec::new();
+        // Overloaded: 2 replicas, 40 in flight.
+        scaler.on_tick(t(1.0), &sample(t(1.0), 2, 40), &mut actions);
+        assert!(actions.is_empty(), "the boot has not completed yet");
+        assert_eq!(scaler.provisioning(), 1);
+        // Two seconds later: still booting.
+        scaler.on_tick(t(3.0), &sample(t(3.0), 2, 40), &mut actions);
+        assert!(actions.is_empty());
+        // Lag elapsed: the replica becomes routable, and the continued
+        // overload (cooldown long passed) starts another boot.
+        scaler.on_tick(t(4.5), &sample(t(4.5), 2, 40), &mut actions);
+        assert_eq!(actions, vec![ControlAction::SetReplicas(3)]);
+        assert_eq!(scaler.provisioning(), 1);
+    }
+
+    #[test]
+    fn never_exceeds_max_replicas() {
+        let mut scaler = AutoScaler::new(config());
+        let mut actions = Vec::new();
+        for step in 0..20 {
+            let now = t(step as f64 * 2.0);
+            scaler.on_tick(now, &sample(now, scaler.routable(), 500), &mut actions);
+        }
+        assert!(scaler.routable() + scaler.provisioning() <= 4);
+    }
+
+    #[test]
+    fn scales_back_down_to_minimum_when_idle() {
+        let mut scaler = AutoScaler::new(config());
+        let mut actions = Vec::new();
+        // Grow to 3.
+        scaler.on_tick(t(0.0), &sample(t(0.0), 2, 40), &mut actions);
+        scaler.on_tick(t(4.0), &sample(t(4.0), 2, 40), &mut actions);
+        assert_eq!(scaler.routable(), 3);
+        actions.clear();
+        // Idle for a while: back to the floor, one step per cooldown.
+        for step in 0..10 {
+            scaler.on_tick(
+                t(10.0 + step as f64 * 2.0),
+                &sample(t(10.0), 3, 0),
+                &mut actions,
+            );
+        }
+        assert_eq!(scaler.routable(), 2);
+        assert!(actions.contains(&ControlAction::SetReplicas(2)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Reactive server defenses for the MFC reproduction.
+//!
+//! The paper profiles *static* targets: whatever crowd size first saturates
+//! a fixed resource is reported as that sub-system's constraint.  Real
+//! deployments fight back — clouds scale out under flash crowds, overload
+//! controllers shed requests with 503s, per-client rate limiters clamp
+//! exactly the kind of repeated probing an MFC performs, and capacity
+//! itself drifts on schedules.  This crate packages those reactions as
+//! [`DynamicsPolicy`] implementations driven on a deterministic
+//! virtual-time tick:
+//!
+//! * [`AutoScaler`] — adds/removes cluster replicas against an in-flight
+//!   load target, with a cloud-style provisioning lag and cooldown,
+//! * [`AdmissionController`] — sheds load (503) on queue depth, outstanding
+//!   requests, or a per-window admission budget (surge protection),
+//! * [`TokenBucketRateLimiter`] — per-client-address token buckets that
+//!   reject or bandwidth-clamp clients who probe too often, which directly
+//!   interferes with MFC probe clients across epochs,
+//! * [`CapacitySchedule`] — time-varying link/CPU capacity applied through
+//!   the engine's mid-run `set_capacity` path.
+//!
+//! A [`DefenseStack`] composes any subset of them behind
+//! [`mfc_webserver::ServerControl`], so the same stack can be attached to a
+//! [`mfc_webserver::ServerEngine`] or a [`mfc_webserver::ServerCluster`]
+//! run — and carried across MFC epochs, so bucket fill levels and
+//! provisioning decisions have memory, exactly like a real target.  The
+//! [`DefenseConfig`] serializable description is what scenario matrices
+//! and experiment artifacts record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod autoscaler;
+pub mod policy;
+pub mod ratelimit;
+pub mod schedule;
+pub mod stack;
+
+pub use admission::{AdmissionController, AdmissionControllerConfig};
+pub use autoscaler::{AutoScaler, AutoScalerConfig};
+pub use policy::DynamicsPolicy;
+pub use ratelimit::{RateLimitMode, TokenBucketConfig, TokenBucketRateLimiter};
+pub use schedule::{CapacitySchedule, CapacityScheduleConfig, CapacityStep};
+pub use stack::{DefenseConfig, DefenseStack};

@@ -1,0 +1,35 @@
+//! The policy abstraction every defense implements.
+
+use mfc_simcore::SimTime;
+use mfc_webserver::{AdmissionVerdict, ControlAction, ServerRequest, TickSample};
+
+/// One reactive defense inside a [`crate::DefenseStack`].
+///
+/// Policies are pure state machines over virtual time: they observe the
+/// tick telemetry the engine produces and answer with actions and
+/// verdicts.  All containers they keep must be deterministic (ordered), so
+/// a defended run is byte-identical across repeats and thread counts like
+/// every other layer of the reproduction.
+pub trait DynamicsPolicy {
+    /// Short identifier used in scenario labels and reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes one telemetry tick and appends any server mutations.
+    fn on_tick(&mut self, now: SimTime, sample: &TickSample, actions: &mut Vec<ControlAction>) {
+        let _ = (now, sample, actions);
+    }
+
+    /// Decides the fate of one arriving request.  `last_sample` is the most
+    /// recent telemetry tick — a control plane never sees the instantaneous
+    /// truth, only its last scrape, which is exactly the lag that lets a
+    /// tightly synchronized burst slip past threshold-based shedding.
+    fn on_arrival(
+        &mut self,
+        now: SimTime,
+        request: &ServerRequest,
+        last_sample: &TickSample,
+    ) -> AdmissionVerdict {
+        let _ = (now, request, last_sample);
+        AdmissionVerdict::Accept
+    }
+}

@@ -157,6 +157,23 @@ impl FluidLink {
         self.capacity
     }
 
+    /// Changes the link's capacity mid-run (a capacity schedule, an upstream
+    /// throttle, an autoscaler resizing a shared uplink).  In-flight flows
+    /// keep their remaining bytes; the water level is recomputed and flows
+    /// flip between the sharing and capped regimes exactly as they do on an
+    /// arrival or departure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn set_capacity(&mut self, capacity: Bandwidth, now: SimTime) {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        self.advance(now);
+        self.sweep_completed();
+        self.capacity = capacity;
+        self.rebalance();
+    }
+
     /// Number of currently active flows.
     pub fn active_flows(&self) -> usize {
         self.flows.len()
@@ -604,6 +621,14 @@ impl NaiveFluidLink {
         self.flows.values().map(|f| f.current_rate).sum()
     }
 
+    /// Changes the link's capacity; see [`FluidLink::set_capacity`].
+    pub fn set_capacity(&mut self, capacity: Bandwidth, now: SimTime) {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        self.advance(now);
+        self.capacity = capacity;
+        self.reallocate();
+    }
+
     /// Starts a new transfer; see [`FluidLink::start_flow`].
     pub fn start_flow(&mut self, id: FlowId, bytes: f64, rate_cap: Bandwidth, now: SimTime) {
         assert!(bytes >= 0.0, "flow size must be non-negative");
@@ -956,6 +981,91 @@ mod tests {
             link.finish_flow(FlowId(i), t(0.0));
         }
         assert_eq!(link.current_rate(FlowId(1)), Some(300_000.0));
+    }
+
+    #[test]
+    fn shrinking_capacity_slows_sharing_flows() {
+        let mut link = FluidLink::new(1_000_000.0);
+        link.start_flow(FlowId(1), 1_000_000.0, f64::INFINITY, t(0.0));
+        link.start_flow(FlowId(2), 1_000_000.0, f64::INFINITY, t(0.0));
+        // Half a second in, the link halves: 750 KB left per flow at
+        // 250 KB/s each.
+        link.set_capacity(500_000.0, t(0.5));
+        assert_eq!(link.current_rate(FlowId(1)), Some(250_000.0));
+        let (done, _) = link.peek_completion().unwrap();
+        assert!((done.as_secs_f64() - 3.5).abs() < 1e-9, "{done}");
+    }
+
+    #[test]
+    fn growing_capacity_freezes_capped_flows() {
+        let mut link = FluidLink::new(400_000.0);
+        // Both flows share 200 KB/s each, below their 300 KB/s caps.
+        link.start_flow(FlowId(1), 600_000.0, 300_000.0, t(0.0));
+        link.start_flow(FlowId(2), 600_000.0, 300_000.0, t(0.0));
+        assert_eq!(link.current_rate(FlowId(1)), Some(200_000.0));
+        // Doubling the capacity lifts the water level above the caps: both
+        // flows flip into the capped regime at 300 KB/s.
+        link.set_capacity(800_000.0, t(1.0));
+        assert_eq!(link.current_rate(FlowId(1)), Some(300_000.0));
+        // 400 KB left each at 300 KB/s.
+        let (done, _) = link.peek_completion().unwrap();
+        assert!(
+            (done.as_secs_f64() - (1.0 + 400.0 / 300.0)).abs() < 1e-5,
+            "{done}"
+        );
+    }
+
+    #[test]
+    fn capacity_change_matches_naive_model() {
+        let mut fast = FluidLink::new(1_000_000.0);
+        let mut naive = NaiveFluidLink::new(1_000_000.0);
+        for i in 0..8u64 {
+            let cap = if i % 2 == 0 {
+                f64::INFINITY
+            } else {
+                150_000.0 + 40_000.0 * i as f64
+            };
+            fast.start_flow(
+                FlowId(i),
+                500_000.0 + 100_000.0 * i as f64,
+                cap,
+                t(0.1 * i as f64),
+            );
+            naive.start_flow(
+                FlowId(i),
+                500_000.0 + 100_000.0 * i as f64,
+                cap,
+                t(0.1 * i as f64),
+            );
+        }
+        for (step, capacity) in [(1.0, 400_000.0), (2.0, 2_000_000.0), (3.0, 700_000.0)] {
+            fast.set_capacity(capacity, t(step));
+            naive.set_capacity(capacity, t(step));
+            for i in 0..8u64 {
+                let (a, b) = (
+                    fast.remaining_bytes(FlowId(i)),
+                    naive.remaining_bytes(FlowId(i)),
+                );
+                match (a, b) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1.0, "flow {i}: {a} vs {b}"),
+                    (a, b) => assert_eq!(a.map(|_| ()), b.map(|_| ())),
+                }
+            }
+        }
+        // Drain both and compare the completion order.
+        let mut now = t(3.0);
+        while let Some((tf, idf)) = fast.next_completion(now) {
+            let (tn, idn) = naive.next_completion(now).expect("naive still active");
+            assert_eq!(idf, idn);
+            assert!(
+                (tf.as_secs_f64() - tn.as_secs_f64()).abs() < 1e-3,
+                "{tf} vs {tn}"
+            );
+            now = now.max(tf);
+            fast.finish_flow(idf, now);
+            naive.finish_flow(idn, now);
+        }
+        assert!(naive.next_completion(now).is_none());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use mfc_core::config::MfcConfig;
 use mfc_core::coordinator::Coordinator;
 use mfc_core::runner::TrialRunner;
 use mfc_core::types::{Stage, StageOutcome};
+use mfc_dynamics::DefenseConfig;
 use mfc_simcore::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,9 @@ pub struct SurveyConfig {
     pub clients: usize,
     /// MFC configuration (threshold, increments, crowd ceiling).
     pub mfc: MfcConfig,
+    /// Reactive defenses every surveyed site runs (static by default —
+    /// the paper's assumption).  Each site gets its own defense stack.
+    pub defenses: DefenseConfig,
     /// Seed controlling both site generation and MFC randomness.
     pub seed: u64,
 }
@@ -103,8 +107,17 @@ impl SurveyConfig {
                 .with_stages(vec![stage])
                 .with_max_crowd(50)
                 .with_increment(5),
+            defenses: DefenseConfig::none(),
             seed: 0x5ec5 + class.paper_sample_size() as u64,
         }
+    }
+
+    /// Arms every surveyed site with the given defenses — the scenario
+    /// matrix's "what does the §5 survey look like when the population
+    /// fights back?" axis.
+    pub fn with_defenses(mut self, defenses: DefenseConfig) -> SurveyConfig {
+        self.defenses = defenses;
+        self
     }
 
     /// A scaled-down version (fewer sites) for quick examples and tests.
@@ -211,6 +224,7 @@ pub fn run_survey_with(
         .collect();
 
     let raw_outcomes = runner.run(specs, |site_index, spec| {
+        let spec = spec.with_defenses(config.defenses.clone());
         let mut backend = SimBackend::new(spec, config.clients, config.seed ^ site_index as u64);
         let coordinator = Coordinator::new(config.mfc.clone())
             .with_seed(config.seed.wrapping_add(site_index as u64));

@@ -192,6 +192,10 @@ impl BackgroundTraffic {
             path,
             client_downlink: self.client_downlink,
             client_rtt: self.client_rtt,
+            // Background users come from a large, churned population: derive
+            // a source address from the id in a space disjoint from MFC
+            // clients (which use small ClientId values).
+            client_addr: 0x8000_0000 | (id % 4093) as u32,
             background: true,
         }
     }

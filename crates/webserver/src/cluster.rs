@@ -9,13 +9,15 @@
 //! identical [`ServerEngine`]s, each with its own caches, and merges the
 //! results.
 
-use mfc_simcore::SimDuration;
+use mfc_simcore::{SimDuration, SimTime, TimeWeighted};
+use mfc_simnet::Bandwidth;
 
 use crate::cache::CacheState;
 use crate::config::ServerConfig;
 use crate::content::ContentCatalog;
-use crate::engine::{RunResult, ServerEngine};
-use crate::request::ServerRequest;
+use crate::control::{AdmissionVerdict, ControlAction, NullControl, ServerControl, TickSample};
+use crate::engine::{EngineSession, RunResult, ServerEngine};
+use crate::request::{ArrivalRecord, RequestOutcome, RequestStatus, ServerRequest};
 use crate::telemetry::UtilizationReport;
 
 /// How the balancer assigns requests to replicas.
@@ -26,6 +28,13 @@ pub enum BalancePolicy {
     /// Assignment by a stable hash of the request id (models flow-hash /
     /// source-hash balancers; keeps a client's retries on one replica).
     HashById,
+    /// Each request goes to the replica with the fewest requests currently
+    /// in flight (a least-connections balancer).  This is what lets an
+    /// autoscaler's freshly provisioned replicas actually absorb load: a
+    /// new replica starts with zero outstanding requests and immediately
+    /// attracts the incoming tail of the crowd, where round robin would
+    /// keep handing it only its 1/n share.
+    LeastOutstanding,
 }
 
 /// A load-balanced group of identical servers.
@@ -46,6 +55,9 @@ pub enum BalancePolicy {
 pub struct ServerCluster {
     engine: ServerEngine,
     replicas: usize,
+    /// Replicas currently routable in controlled runs; persists across
+    /// runs so an autoscaler's provisioning decisions outlive one epoch.
+    active: usize,
     policy: BalancePolicy,
     caches: Vec<CacheState>,
 }
@@ -61,6 +73,7 @@ impl ServerCluster {
         ServerCluster {
             engine: ServerEngine::new(config, catalog),
             replicas,
+            active: replicas,
             policy: BalancePolicy::RoundRobin,
             caches: vec![CacheState::new(); replicas],
         }
@@ -72,14 +85,48 @@ impl ServerCluster {
         self
     }
 
-    /// Number of replicas behind the balancer.
+    /// Number of replicas the cluster was configured with.  The plain
+    /// [`ServerCluster::run`] always spreads over all of them.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// Replicas currently routable in [`ServerCluster::run_controlled`]
+    /// (changed by `ControlAction::SetReplicas`; starts at the configured
+    /// count).
+    pub fn active_replicas(&self) -> usize {
+        self.active
     }
 
     /// The per-replica cache states (useful for inspecting warmth).
     pub fn caches(&self) -> &[CacheState] {
         &self.caches
+    }
+
+    /// Processes one batch of requests under a [`ServerControl`] loop.
+    ///
+    /// Requests are swept in arrival order, interleaved deterministically
+    /// with the control's telemetry ticks; each arrival is offered to the
+    /// control (which may shed it with a 503 or clamp its transfer rate)
+    /// and then routed over the currently *active* replicas.  `SetReplicas`
+    /// actions take effect immediately for subsequent arrivals: scale-up
+    /// replicas start cold, scale-down replicas finish their in-flight
+    /// work but stop receiving traffic.  The active count persists to the
+    /// next run.
+    pub fn run_controlled(
+        &mut self,
+        requests: Vec<ServerRequest>,
+        control: &mut dyn ServerControl,
+    ) -> RunResult {
+        drive_controlled(
+            &self.engine,
+            &mut self.caches,
+            &mut self.active,
+            self.policy,
+            /*allow_scaling=*/ true,
+            requests,
+            control,
+        )
     }
 
     /// Processes one batch of requests, spreading them over the replicas,
@@ -91,6 +138,20 @@ impl ServerCluster {
     /// operation counters are summed, and peak memory is the maximum of any
     /// single replica (that is the machine that would start swapping first).
     pub fn run(&mut self, requests: Vec<ServerRequest>) -> RunResult {
+        if self.policy == BalancePolicy::LeastOutstanding {
+            // Least-connections routing needs the replicas' live in-flight
+            // counts, so it always runs through the time-ordered sweep.
+            let mut active = self.replicas;
+            return drive_controlled(
+                &self.engine,
+                &mut self.caches,
+                &mut active,
+                self.policy,
+                /*allow_scaling=*/ false,
+                requests,
+                &mut NullControl,
+            );
+        }
         let replica_count = self.replicas;
         let mut per_replica: Vec<Vec<ServerRequest>> = vec![Vec::new(); replica_count];
         let mut placement: Vec<(usize, usize)> = Vec::with_capacity(requests.len());
@@ -98,6 +159,7 @@ impl ServerCluster {
             let replica = match self.policy {
                 BalancePolicy::RoundRobin => submit_idx % replica_count,
                 BalancePolicy::HashById => (req.id as usize) % replica_count,
+                BalancePolicy::LeastOutstanding => unreachable!("handled above"),
             };
             placement.push((replica, per_replica[replica].len()));
             per_replica[replica].push(req);
@@ -170,6 +232,12 @@ impl ServerCluster {
                 .iter()
                 .map(|r| r.utilization.completed_requests)
                 .sum(),
+            shed_requests: 0,
+            throttled_requests: 0,
+            link_capacity: replica_results
+                .iter()
+                .map(|r| r.utilization.link_capacity)
+                .sum(),
         };
 
         RunResult {
@@ -180,10 +248,389 @@ impl ServerCluster {
     }
 }
 
+/// Where one submitted request ended up in a controlled run.
+enum Placement {
+    /// Routed to `(replica, local submission index)`.
+    Routed(usize, usize),
+    /// Shed at the front door; the 503 outcome is recorded directly.
+    Shed(RequestOutcome),
+}
+
+/// Mutable state of one controlled sweep: the per-replica sessions, the
+/// capacity overrides, and the front-door counters.  Methods scope the
+/// borrows between the sessions, the cache pool and the overrides.
+struct DriveState<'e, 'c> {
+    engine: &'e ServerEngine,
+    caches: &'c mut Vec<CacheState>,
+    sessions: Vec<EngineSession<'e>>,
+    /// Replicas currently routable.
+    active: usize,
+    allow_scaling: bool,
+    /// Capacity overrides installed by ControlActions; applied to existing
+    /// sessions immediately and to later-created replicas at birth.
+    link_override: Option<Bandwidth>,
+    cpu_override: Option<f64>,
+    arrivals: u64,
+    shed_count: u64,
+    throttled_count: u64,
+    /// Aggregate outbound capacity (active replicas × per-replica link)
+    /// over time, so the reported `link_capacity` reflects mid-run
+    /// scale-ups and capacity steps instead of only the end-of-run state.
+    capacity_series: TimeWeighted,
+    /// Latest virtual time the sweep advanced to.
+    last_time: SimTime,
+}
+
+impl<'e, 'c> DriveState<'e, 'c> {
+    fn new(
+        engine: &'e ServerEngine,
+        caches: &'c mut Vec<CacheState>,
+        active: usize,
+        allow_scaling: bool,
+        t0: SimTime,
+    ) -> Self {
+        let initial_capacity = active.max(1) as f64 * engine.config().access_link;
+        DriveState {
+            engine,
+            caches,
+            sessions: Vec::new(),
+            active: active.max(1),
+            allow_scaling,
+            link_override: None,
+            cpu_override: None,
+            arrivals: 0,
+            shed_count: 0,
+            throttled_count: 0,
+            capacity_series: TimeWeighted::new(t0, initial_capacity),
+            last_time: t0,
+        }
+    }
+
+    fn aggregate_capacity(&self) -> f64 {
+        self.active as f64
+            * self
+                .link_override
+                .unwrap_or(self.engine.config().access_link)
+    }
+
+    /// Creates replica sessions up to and including `replica`, borrowing
+    /// their cache state from the pool (and growing the pool as needed).
+    fn ensure_session(&mut self, replica: usize) {
+        while self.sessions.len() <= replica {
+            let idx = self.sessions.len();
+            if self.caches.len() <= idx {
+                self.caches.push(CacheState::new());
+            }
+            let cache = std::mem::replace(&mut self.caches[idx], CacheState::new());
+            let mut session = self.engine.session(cache);
+            if let Some(bw) = self.link_override {
+                session.set_access_link(bw, SimTime::ZERO);
+            }
+            if let Some(factor) = self.cpu_override {
+                session.scale_cpu(factor, SimTime::ZERO);
+            }
+            self.sessions.push(session);
+        }
+    }
+
+    fn advance_all(&mut self, now: SimTime) {
+        for session in self.sessions.iter_mut() {
+            session.run_until(now);
+        }
+        self.last_time = self.last_time.max(now);
+    }
+
+    fn sample(&self, now: SimTime) -> TickSample {
+        let mut sample = TickSample::idle(now, self.active);
+        sample.arrivals = self.arrivals;
+        sample.shed = self.shed_count;
+        // Load counters aggregate every session, including replicas retired
+        // by a scale-down that are still draining in-flight work; the
+        // utilization means, however, describe the *routable* fleet — a
+        // still-booting replica counts as idle (it exists but has no
+        // session yet) and a retired one no longer dilutes the average.
+        let routable = self.active.min(self.sessions.len());
+        for (replica, session) in self.sessions.iter().enumerate() {
+            sample.in_flight += session.in_flight();
+            sample.busy_workers += u64::from(session.busy_workers());
+            sample.queued += session.queued() as u64;
+            sample.memory_used += session.memory_used();
+            sample.completed += session.completed();
+            sample.refused += session.refused();
+            if replica < routable {
+                sample.cpu_utilization += session.cpu_utilization();
+                sample.link_utilization += session.link_utilization();
+            }
+        }
+        sample.cpu_utilization /= self.active as f64;
+        sample.link_utilization /= self.active as f64;
+        sample
+    }
+
+    fn apply(&mut self, action: ControlAction, now: SimTime) {
+        match action {
+            ControlAction::SetReplicas(n) => {
+                if self.allow_scaling {
+                    self.active = n.max(1);
+                    self.capacity_series.set(now, self.aggregate_capacity());
+                }
+            }
+            ControlAction::SetAccessLink(bw) => {
+                self.link_override = Some(bw);
+                for session in self.sessions.iter_mut() {
+                    session.set_access_link(bw, now);
+                }
+                self.capacity_series.set(now, self.aggregate_capacity());
+            }
+            ControlAction::ScaleCpu(factor) => {
+                self.cpu_override = Some(factor);
+                for session in self.sessions.iter_mut() {
+                    session.scale_cpu(factor, now);
+                }
+            }
+        }
+    }
+
+    /// Advances to `now`, hands the control loop a fresh telemetry sample
+    /// and applies whatever it decided.
+    fn do_tick(&mut self, now: SimTime, control: &mut dyn ServerControl) {
+        self.advance_all(now);
+        let sample = self.sample(now);
+        let mut actions = Vec::new();
+        control.on_tick(now, &sample, &mut actions);
+        for action in actions {
+            self.apply(action, now);
+        }
+    }
+
+    fn route(&self, policy: BalancePolicy, rr_counter: &mut usize, req: &ServerRequest) -> usize {
+        match policy {
+            BalancePolicy::RoundRobin => {
+                let r = *rr_counter % self.active;
+                *rr_counter += 1;
+                r
+            }
+            BalancePolicy::HashById => (req.id as usize) % self.active,
+            BalancePolicy::LeastOutstanding => (0..self.active)
+                .min_by_key(|&r| self.sessions.get(r).map(|s| s.in_flight()).unwrap_or(0))
+                .expect("at least one active replica"),
+        }
+    }
+
+    /// Time-weighted mean aggregate capacity over the sweep (the value an
+    /// `atop`-style monitor would have averaged).
+    fn mean_link_capacity(&self) -> f64 {
+        self.capacity_series.average_until(self.last_time)
+    }
+}
+
+/// The time-ordered sweep shared by [`ServerCluster::run_controlled`] and
+/// [`ServerEngine::run_controlled`]: requests are fed to per-replica
+/// [`EngineSession`]s in arrival order, with the control loop's telemetry
+/// ticks interleaved deterministically between arrivals and during the
+/// drain.
+pub(crate) fn drive_controlled(
+    engine: &ServerEngine,
+    caches: &mut Vec<CacheState>,
+    active: &mut usize,
+    policy: BalancePolicy,
+    allow_scaling: bool,
+    requests: Vec<ServerRequest>,
+    control: &mut dyn ServerControl,
+) -> RunResult {
+    let total = requests.len();
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&i| (requests[i].arrival, i));
+    let mut requests: Vec<Option<ServerRequest>> = requests.into_iter().map(Some).collect();
+    let mut placement: Vec<Option<Placement>> = (0..total).map(|_| None).collect();
+    let mut rr_counter = 0usize;
+    let mut shed_log: Vec<ArrivalRecord> = Vec::new();
+
+    let tick = control.tick_interval();
+    let t0 = order
+        .first()
+        .map(|&i| requests[i].as_ref().expect("unconsumed").arrival)
+        .unwrap_or(SimTime::ZERO);
+    let mut next_tick = tick.map(|d| t0 + d);
+    let mut drive = DriveState::new(engine, caches, *active, allow_scaling, t0);
+
+    // Arrival sweep.
+    for &idx in &order {
+        let req = requests[idx].take().expect("each request consumed once");
+        let arrival = req.arrival;
+        while let (Some(d), Some(at)) = (tick, next_tick) {
+            if at > arrival {
+                break;
+            }
+            drive.do_tick(at, control);
+            next_tick = Some(at + d);
+        }
+        drive.advance_all(arrival);
+        drive.arrivals += 1;
+        match control.on_arrival(arrival, &req) {
+            AdmissionVerdict::Shed => {
+                shed_log.push(ArrivalRecord {
+                    id: req.id,
+                    arrival,
+                    background: req.background,
+                });
+                placement[idx] = Some(Placement::Shed(RequestOutcome {
+                    id: req.id,
+                    arrival,
+                    status: RequestStatus::Shed,
+                    completion: arrival,
+                    body_bytes: 0,
+                    background: req.background,
+                }));
+                drive.shed_count += 1;
+            }
+            verdict => {
+                let mut req = req;
+                if let AdmissionVerdict::Throttle(rate) = verdict {
+                    req.client_downlink = req.client_downlink.min(rate.max(1.0));
+                    drive.throttled_count += 1;
+                }
+                let replica = drive.route(policy, &mut rr_counter, &req);
+                drive.ensure_session(replica);
+                placement[idx] = Some(Placement::Routed(replica, drive.sessions[replica].pushed()));
+                drive.sessions[replica].push_request(req);
+            }
+        }
+    }
+
+    // Drain, keeping ticks firing while work remains.
+    loop {
+        let next_event = drive
+            .sessions
+            .iter_mut()
+            .filter_map(|s| s.next_event_time())
+            .min();
+        let Some(next_event) = next_event else { break };
+        match (tick, next_tick) {
+            (Some(d), Some(at)) if at <= next_event => {
+                drive.do_tick(at, control);
+                next_tick = Some(at + d);
+            }
+            _ => drive.advance_all(next_event),
+        }
+    }
+
+    *active = drive.active;
+    let link_capacity = drive.mean_link_capacity();
+    let DriveState {
+        caches,
+        sessions,
+        shed_count,
+        throttled_count,
+        ..
+    } = drive;
+
+    // Collect per-replica results, handing caches back for the next run.
+    let mut replica_results: Vec<RunResult> = Vec::with_capacity(sessions.len());
+    for (idx, session) in sessions.into_iter().enumerate() {
+        let (result, cache) = session.finish();
+        caches[idx] = cache;
+        replica_results.push(result);
+    }
+
+    let mut outcomes = Vec::with_capacity(total);
+    for slot in placement {
+        match slot.expect("every request was placed or shed") {
+            Placement::Routed(replica, local) => {
+                outcomes.push(replica_results[replica].outcomes[local].clone());
+            }
+            Placement::Shed(outcome) => outcomes.push(outcome),
+        }
+    }
+
+    let mut arrival_log = shed_log;
+    for result in &replica_results {
+        arrival_log.extend(result.arrival_log.iter().cloned());
+    }
+    arrival_log.sort_by_key(|r| (r.arrival, r.id));
+    let n = replica_results.len() as f64;
+    let utilization = if replica_results.is_empty() {
+        UtilizationReport {
+            window: SimDuration::ZERO,
+            cpu_utilization: 0.0,
+            peak_memory_bytes: 0,
+            mean_memory_bytes: 0.0,
+            network_bytes_sent: 0,
+            disk_operations: 0,
+            mean_busy_workers: 0.0,
+            peak_busy_workers: 0,
+            refused_requests: 0,
+            completed_requests: 0,
+            shed_requests: shed_count,
+            throttled_requests: throttled_count,
+            link_capacity,
+        }
+    } else {
+        UtilizationReport {
+            window: replica_results
+                .iter()
+                .map(|r| r.utilization.window)
+                .max()
+                .unwrap_or(SimDuration::ZERO),
+            cpu_utilization: replica_results
+                .iter()
+                .map(|r| r.utilization.cpu_utilization)
+                .sum::<f64>()
+                / n,
+            peak_memory_bytes: replica_results
+                .iter()
+                .map(|r| r.utilization.peak_memory_bytes)
+                .max()
+                .unwrap_or(0),
+            mean_memory_bytes: replica_results
+                .iter()
+                .map(|r| r.utilization.mean_memory_bytes)
+                .sum::<f64>()
+                / n,
+            network_bytes_sent: replica_results
+                .iter()
+                .map(|r| r.utilization.network_bytes_sent)
+                .sum(),
+            disk_operations: replica_results
+                .iter()
+                .map(|r| r.utilization.disk_operations)
+                .sum(),
+            mean_busy_workers: replica_results
+                .iter()
+                .map(|r| r.utilization.mean_busy_workers)
+                .sum::<f64>()
+                / n,
+            peak_busy_workers: replica_results
+                .iter()
+                .map(|r| r.utilization.peak_busy_workers)
+                .max()
+                .unwrap_or(0),
+            refused_requests: replica_results
+                .iter()
+                .map(|r| r.utilization.refused_requests)
+                .sum(),
+            completed_requests: replica_results
+                .iter()
+                .map(|r| r.utilization.completed_requests)
+                .sum(),
+            shed_requests: shed_count,
+            throttled_requests: throttled_count,
+            link_capacity,
+        }
+    };
+
+    RunResult {
+        outcomes,
+        utilization,
+        arrival_log,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{RequestClass, RequestStatus};
+    use crate::config::{DatabaseConfig, WorkerConfig};
+    use crate::request::RequestClass;
     use mfc_simcore::SimTime;
 
     fn head(id: u64) -> ServerRequest {
@@ -194,6 +641,7 @@ mod tests {
             path: "/index.html".to_string(),
             client_downlink: 1e7,
             client_rtt: SimDuration::from_millis(40),
+            client_addr: id as u32,
             background: false,
         }
     }
@@ -206,6 +654,7 @@ mod tests {
             path: path.to_string(),
             client_downlink: 1e7,
             client_rtt: SimDuration::from_millis(40),
+            client_addr: id as u32,
             background: false,
         }
     }
@@ -297,6 +746,170 @@ mod tests {
         let la: Vec<_> = ra.outcomes.iter().map(|o| o.completion).collect();
         let lb: Vec<_> = rb.outcomes.iter().map(|o| o.completion).collect();
         assert_eq!(la, lb);
+    }
+
+    /// A slow dynamic query parked on one replica plus a trickle of HEADs
+    /// spaced so each settles before the next arrives: under round robin
+    /// every second HEAD lands behind the query and shares the CPU with it;
+    /// least-outstanding sees the busy replica's outstanding count and
+    /// steers every HEAD to the idle one.
+    fn skewed_workload() -> Vec<ServerRequest> {
+        let mut requests = vec![ServerRequest {
+            id: 0,
+            arrival: SimTime::ZERO,
+            class: RequestClass::Dynamic,
+            path: "/cgi/stats?table=t1".to_string(),
+            client_downlink: 1e7,
+            client_rtt: SimDuration::from_millis(40),
+            client_addr: 0,
+            background: false,
+        }];
+        for id in 1..=6u64 {
+            let mut r = head(id);
+            r.arrival = SimTime::ZERO + SimDuration::from_millis(25 * id);
+            requests.push(r);
+        }
+        requests
+    }
+
+    /// Lab server with an expensive base page and a very slow back end, so
+    /// CPU sharing against the parked query visibly inflates HEAD parses.
+    fn skewed_config() -> ServerConfig {
+        ServerConfig {
+            workers: WorkerConfig {
+                per_request_cpu: 0.002,
+                base_page_cpu: 0.008,
+                ..WorkerConfig::default()
+            },
+            database: DatabaseConfig {
+                query_cache: false,
+                base_query_cpu: 0.5,
+                ..DatabaseConfig::default()
+            },
+            ..ServerConfig::lab_apache()
+        }
+    }
+
+    #[test]
+    fn least_outstanding_avoids_the_busy_replica() {
+        let catalog = ContentCatalog::lab_validation();
+        let run_with = |policy: BalancePolicy| {
+            let mut cluster =
+                ServerCluster::new(skewed_config(), catalog.clone(), 2).with_policy(policy);
+            cluster.run(skewed_workload())
+        };
+        let rr = run_with(BalancePolicy::RoundRobin);
+        let lo = run_with(BalancePolicy::LeastOutstanding);
+
+        // Pin the routing against round robin: RR deals HEADs 2, 4, 6 onto
+        // the replica stuck with the 500 ms query, where processor sharing
+        // doubles their 10 ms parse; LO parses every HEAD at full speed.
+        let worst = |result: &RunResult| {
+            result.outcomes[1..]
+                .iter()
+                .map(|o| o.latency())
+                .max()
+                .unwrap()
+        };
+        assert!(
+            worst(&rr) >= worst(&lo) + SimDuration::from_millis(5),
+            "round robin must queue HEADs behind the busy replica: rr {} vs lo {}",
+            worst(&rr),
+            worst(&lo)
+        );
+        // Everything still completes under both policies.
+        assert!(rr.outcomes.iter().all(|o| o.is_ok()));
+        assert!(lo.outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(lo.outcomes.len(), 7);
+        // Outcomes stay in submission order through the sweep path.
+        let ids: Vec<u64> = lo.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn least_outstanding_is_deterministic() {
+        let config = ServerConfig::lab_apache();
+        let catalog = ContentCatalog::lab_validation();
+        let run_once = || {
+            let mut cluster = ServerCluster::new(config.clone(), catalog.clone(), 3)
+                .with_policy(BalancePolicy::LeastOutstanding);
+            let result = cluster.run(skewed_workload());
+            result
+                .outcomes
+                .iter()
+                .map(|o| o.completion)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn controlled_run_with_null_control_matches_plain_run_shape() {
+        let requests: Vec<ServerRequest> = (0..12).map(head).collect();
+        let mut plain = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            3,
+        );
+        let plain_result = plain.run(requests.clone());
+        let mut controlled = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            3,
+        );
+        let controlled_result =
+            controlled.run_controlled(requests, &mut crate::control::NullControl);
+        assert_eq!(
+            plain_result.outcomes.len(),
+            controlled_result.outcomes.len()
+        );
+        assert_eq!(controlled_result.utilization.completed_requests, 12);
+        assert_eq!(controlled_result.utilization.shed_requests, 0);
+        // Round-robin over simultaneous arrivals routes identically in both
+        // paths, so the outcomes agree exactly.
+        for (a, b) in plain_result
+            .outcomes
+            .iter()
+            .zip(controlled_result.outcomes.iter())
+        {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn set_replicas_action_persists_across_runs() {
+        use crate::control::{AdmissionVerdict, ControlAction, ServerControl, TickSample};
+
+        /// Scales to a fixed target at the first tick.
+        struct ScaleTo(usize);
+        impl ServerControl for ScaleTo {
+            fn tick_interval(&self) -> Option<SimDuration> {
+                Some(SimDuration::from_millis(10))
+            }
+            fn on_arrival(&mut self, _: SimTime, _: &ServerRequest) -> AdmissionVerdict {
+                AdmissionVerdict::Accept
+            }
+            fn on_tick(&mut self, _: SimTime, _: &TickSample, actions: &mut Vec<ControlAction>) {
+                actions.push(ControlAction::SetReplicas(self.0));
+            }
+        }
+
+        let mut cluster = ServerCluster::new(
+            ServerConfig::commercial_frontend(),
+            ContentCatalog::typical_site(1),
+            2,
+        );
+        assert_eq!(cluster.active_replicas(), 2);
+        let mut requests: Vec<ServerRequest> = (0..40).map(head).collect();
+        // Spread arrivals so ticks interleave.
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.arrival = SimTime::ZERO + SimDuration::from_millis(i as u64 * 5);
+        }
+        let result = cluster.run_controlled(requests, &mut ScaleTo(5));
+        assert!(result.outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(cluster.active_replicas(), 5);
+        // The caches grew to cover the provisioned replicas.
+        assert!(cluster.caches().len() >= 5);
     }
 
     #[test]

@@ -25,11 +25,12 @@
 use std::collections::VecDeque;
 
 use mfc_simcore::{EventHandle, EventQueue, SimDuration, SimTime, TimeWeighted};
-use mfc_simnet::{FlowId, FluidLink};
+use mfc_simnet::{Bandwidth, FlowId, FluidLink};
 
 use crate::cache::CacheState;
 use crate::config::{DynamicHandler, ServerConfig};
 use crate::content::ContentCatalog;
+use crate::control::ServerControl;
 use crate::request::{ArrivalRecord, RequestClass, RequestOutcome, RequestStatus, ServerRequest};
 use crate::resource::{FifoResource, MemoryTracker, PsResource, SlotPool};
 use crate::telemetry::UtilizationReport;
@@ -63,6 +64,7 @@ pub struct RunResult {
 ///     path: "/index.html".to_string(),
 ///     client_downlink: 1e7,
 ///     client_rtt: SimDuration::from_millis(40),
+///     client_addr: 1,
 ///     background: false,
 /// };
 /// let result = engine.run(vec![req], &mut cache);
@@ -96,9 +98,48 @@ impl ServerEngine {
     /// `cache` carries object/query cache warmth across runs (epochs).
     /// Outcomes are returned in the order the requests were supplied.
     pub fn run(&self, requests: Vec<ServerRequest>, cache: &mut CacheState) -> RunResult {
-        let mut sim = Sim::new(&self.config, &self.catalog, requests, cache);
-        sim.run();
-        sim.into_result()
+        let mut session = self.session(std::mem::replace(cache, CacheState::new()));
+        for request in requests {
+            session.push_request(request);
+        }
+        let (result, warmed) = session.finish();
+        *cache = warmed;
+        result
+    }
+
+    /// Processes a batch of requests with a [`ServerControl`] loop attached:
+    /// the control sees every arrival (and may shed or throttle it) and a
+    /// telemetry tick at its configured interval, through which it can
+    /// reshape the server's link and CPU capacity mid-run.
+    ///
+    /// Replica-count actions are ignored — a single engine cannot scale
+    /// out; use [`crate::ServerCluster::run_controlled`] for that.
+    pub fn run_controlled(
+        &self,
+        requests: Vec<ServerRequest>,
+        cache: &mut CacheState,
+        control: &mut dyn ServerControl,
+    ) -> RunResult {
+        let mut caches = vec![std::mem::replace(cache, CacheState::new())];
+        let mut active = 1;
+        let result = crate::cluster::drive_controlled(
+            self,
+            &mut caches,
+            &mut active,
+            crate::cluster::BalancePolicy::RoundRobin,
+            /*allow_scaling=*/ false,
+            requests,
+            control,
+        );
+        *cache = caches.swap_remove(0);
+        result
+    }
+
+    /// Opens a tick-driven session against this server.  The session owns
+    /// the cache state for its duration; [`EngineSession::finish`] hands it
+    /// back warmed.
+    pub fn session(&self, cache: CacheState) -> EngineSession<'_> {
+        EngineSession::new(&self.config, &self.catalog, cache)
     }
 }
 
@@ -151,10 +192,45 @@ enum Event {
     DiskDone(usize),
 }
 
-struct Sim<'a> {
+/// A tick-driven, incrementally-fed run of one server — the mid-run
+/// mutation seam the dynamics layer drives.
+///
+/// Unlike the fire-and-forget [`ServerEngine::run`], a session accepts
+/// request arrivals while it is running ([`EngineSession::push_request`]),
+/// advances virtual time in bounded steps ([`EngineSession::run_until`]),
+/// exposes instantaneous telemetry between steps, and lets a control loop
+/// mutate link and CPU capacity without disturbing in-flight work.
+///
+/// # Examples
+///
+/// ```
+/// use mfc_simcore::{SimDuration, SimTime};
+/// use mfc_webserver::{CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine,
+///                     ServerRequest};
+///
+/// let engine = ServerEngine::new(ServerConfig::lab_apache(), ContentCatalog::lab_validation());
+/// let mut session = engine.session(CacheState::new());
+/// session.push_request(ServerRequest {
+///     id: 1,
+///     arrival: SimTime::ZERO,
+///     class: RequestClass::Head,
+///     path: "/index.html".to_string(),
+///     client_downlink: 1e7,
+///     client_rtt: SimDuration::from_millis(40),
+///     client_addr: 1,
+///     background: false,
+/// });
+/// // At t=0 the request has been admitted and is parsing on the CPU.
+/// session.run_until(SimTime::ZERO);
+/// assert_eq!(session.in_flight(), 1);
+/// assert_eq!(session.busy_workers(), 1);
+/// let (result, _cache) = session.finish();
+/// assert!(result.outcomes[0].is_ok());
+/// ```
+pub struct EngineSession<'a> {
     config: &'a ServerConfig,
     catalog: &'a ContentCatalog,
-    cache: &'a mut CacheState,
+    cache: CacheState,
     queue: EventQueue<Event>,
     requests: Vec<InFlight>,
     workers: SlotPool,
@@ -170,43 +246,20 @@ struct Sim<'a> {
     now: SimTime,
     start: SimTime,
     end: SimTime,
+    /// Whether the gauges have been anchored at the run's start time (the
+    /// earliest arrival pushed before the first step).
+    started: bool,
     busy_workers: TimeWeighted,
     memory_series: TimeWeighted,
     arrival_log: Vec<ArrivalRecord>,
     refused: u64,
     completed: u64,
+    /// Requests whose outcome has been recorded (any status).
+    settled: u64,
 }
 
-impl<'a> Sim<'a> {
-    fn new(
-        config: &'a ServerConfig,
-        catalog: &'a ContentCatalog,
-        requests: Vec<ServerRequest>,
-        cache: &'a mut CacheState,
-    ) -> Self {
-        let start = requests
-            .iter()
-            .map(|r| r.arrival)
-            .min()
-            .unwrap_or(SimTime::ZERO);
-        let mut queue = EventQueue::new();
-        let requests: Vec<InFlight> = requests
-            .into_iter()
-            .map(|req| InFlight {
-                req,
-                phase: Phase::AwaitWorker,
-                body_bytes: 0,
-                fork_memory: 0,
-                holds_handler: false,
-                holds_db: false,
-                pending_db_work: 0.0,
-                slow_start: SimDuration::ZERO,
-                outcome: None,
-            })
-            .collect();
-        for (idx, inflight) in requests.iter().enumerate() {
-            queue.schedule(inflight.req.arrival, Event::Arrival(idx));
-        }
+impl<'a> EngineSession<'a> {
+    fn new(config: &'a ServerConfig, catalog: &'a ContentCatalog, cache: CacheState) -> Self {
         let handler_capacity = match config.dynamic_handler {
             DynamicHandler::ForkPerRequest { .. } => u32::MAX,
             DynamicHandler::PersistentPool { pool_size, .. } => pool_size,
@@ -217,12 +270,12 @@ impl<'a> Sim<'a> {
             memory.allocate(pool_memory);
         }
         let cpu_capacity = f64::from(config.hardware.cpu_cores) * config.hardware.cpu_speed;
-        Sim {
+        EngineSession {
             config,
             catalog,
             cache,
-            queue,
-            requests,
+            queue: EventQueue::new(),
+            requests: Vec::new(),
             workers: SlotPool::new(config.workers.max_workers),
             listen_queue: VecDeque::new(),
             handler_pool: SlotPool::new(handler_capacity),
@@ -233,32 +286,168 @@ impl<'a> Sim<'a> {
             net: FluidLink::new(config.access_link),
             cpu_event: None,
             net_event: None,
-            now: start,
-            start,
-            end: start,
-            busy_workers: TimeWeighted::new(start, 0.0),
-            memory_series: TimeWeighted::new(start, 0.0),
+            now: SimTime::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            started: false,
+            busy_workers: TimeWeighted::new(SimTime::ZERO, 0.0),
+            memory_series: TimeWeighted::new(SimTime::ZERO, 0.0),
             arrival_log: Vec::new(),
             refused: 0,
             completed: 0,
+            settled: 0,
         }
     }
 
-    fn run(&mut self) {
-        self.memory_series
-            .set(self.start, self.memory.used() as f64);
+    /// Submits a request to the session.  Outcomes are reported in push
+    /// order by [`EngineSession::finish`].  Arrivals pushed after stepping
+    /// has begun must not lie in the session's past.
+    pub fn push_request(&mut self, request: ServerRequest) {
+        if !self.started {
+            self.start = if self.requests.is_empty() {
+                request.arrival
+            } else {
+                self.start.min(request.arrival)
+            };
+            self.now = self.start;
+            self.end = self.start;
+        }
+        let idx = self.requests.len();
+        self.queue.schedule(request.arrival, Event::Arrival(idx));
+        self.requests.push(InFlight {
+            req: request,
+            phase: Phase::AwaitWorker,
+            body_bytes: 0,
+            fork_memory: 0,
+            holds_handler: false,
+            holds_db: false,
+            pending_db_work: 0.0,
+            slow_start: SimDuration::ZERO,
+            outcome: None,
+        });
+    }
+
+    /// Anchors the time-weighted gauges at the run's start.  A no-op until
+    /// the first request is pushed, and after the first step.
+    fn ensure_started(&mut self) {
+        if self.started || self.requests.is_empty() {
+            return;
+        }
+        self.started = true;
+        self.busy_workers = TimeWeighted::new(self.start, 0.0);
+        self.memory_series = TimeWeighted::new(self.start, self.memory.used() as f64);
+    }
+
+    /// Processes every event at or before `limit` and advances the session
+    /// clock to `limit`, so telemetry reads are instantaneous at that time.
+    pub fn run_until(&mut self, limit: SimTime) {
+        self.ensure_started();
+        while let Some(time) = self.queue.peek_time() {
+            if time > limit {
+                break;
+            }
+            let (time, event) = self.queue.pop().expect("peeked event exists");
+            self.now = self.now.max(time);
+            self.dispatch(event);
+            self.reschedule_cpu();
+            self.reschedule_net();
+        }
+        if self.started {
+            self.now = self.now.max(limit);
+        }
+    }
+
+    /// The time of the next pending event, if any work remains.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Requests admitted to the session whose outcome is not yet recorded.
+    pub fn in_flight(&self) -> u64 {
+        self.requests.len() as u64 - self.settled
+    }
+
+    /// Requests pushed to this session so far (the local submission index
+    /// the next [`EngineSession::push_request`] will get).
+    pub fn pushed(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Busy worker slots right now.
+    pub fn busy_workers(&self) -> u32 {
+        self.workers.busy()
+    }
+
+    /// Connections waiting in the listen queue right now.
+    pub fn queued(&self) -> usize {
+        self.listen_queue.len()
+    }
+
+    /// Instantaneous CPU utilization in 0–1.
+    pub fn cpu_utilization(&self) -> f64 {
+        self.cpu.utilization()
+    }
+
+    /// Instantaneous access-link utilization in 0–1.
+    pub fn link_utilization(&self) -> f64 {
+        (self.net.utilization_bytes_per_sec() / self.net.capacity()).clamp(0.0, 1.0)
+    }
+
+    /// Resident memory in bytes right now.
+    pub fn memory_used(&self) -> u64 {
+        self.memory.used()
+    }
+
+    /// Requests completed successfully so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests refused by listen-queue overflow so far.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// Changes the outbound access-link capacity mid-run.  In-flight
+    /// transfers keep their remaining bytes and are re-shared immediately.
+    pub fn set_access_link(&mut self, capacity: Bandwidth, now: SimTime) {
+        self.net.set_capacity(capacity.max(1.0), now.max(self.now));
+        self.reschedule_net();
+    }
+
+    /// Scales total CPU capacity to `factor` × the configured hardware.
+    pub fn scale_cpu(&mut self, factor: f64, now: SimTime) {
+        let nominal = f64::from(self.config.hardware.cpu_cores) * self.config.hardware.cpu_speed;
+        self.cpu
+            .set_capacity((nominal * factor).max(f64::EPSILON), now.max(self.now));
+        self.reschedule_cpu();
+    }
+
+    /// Runs the session to completion and returns the merged result plus
+    /// the warmed cache state.
+    pub fn finish(mut self) -> (RunResult, CacheState) {
+        self.drain();
+        self.into_result()
+    }
+
+    fn drain(&mut self) {
+        self.ensure_started();
         while let Some((time, event)) = self.queue.pop() {
             self.now = self.now.max(time);
-            match event {
-                Event::Arrival(idx) => self.on_arrival(idx),
-                Event::CpuCheck => self.on_cpu_check(),
-                Event::NetCheck => self.on_net_check(),
-                Event::DiskDone(idx) => self.on_disk_done(idx),
-            }
+            self.dispatch(event);
             self.reschedule_cpu();
             self.reschedule_net();
         }
         self.end = self.end.max(self.now);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Arrival(idx) => self.on_arrival(idx),
+            Event::CpuCheck => self.on_cpu_check(),
+            Event::NetCheck => self.on_net_check(),
+            Event::DiskDone(idx) => self.on_disk_done(idx),
+        }
     }
 
     fn on_arrival(&mut self, idx: usize) {
@@ -544,6 +733,7 @@ impl<'a> Sim<'a> {
         if status == RequestStatus::Ok {
             self.completed += 1;
         }
+        self.settled += 1;
         self.end = self.end.max(completion).max(self.now);
     }
 
@@ -577,7 +767,7 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn into_result(mut self) -> RunResult {
+    fn into_result(mut self) -> (RunResult, CacheState) {
         let window = self.end.saturating_since(self.start);
         let cpu_capacity =
             f64::from(self.config.hardware.cpu_cores) * self.config.hardware.cpu_speed;
@@ -597,6 +787,9 @@ impl<'a> Sim<'a> {
             peak_busy_workers: self.workers.peak_busy(),
             refused_requests: self.refused,
             completed_requests: self.completed,
+            shed_requests: 0,
+            throttled_requests: 0,
+            link_capacity: self.net.capacity(),
         };
         let mut outcomes = Vec::with_capacity(self.requests.len());
         for inflight in &mut self.requests {
@@ -611,11 +804,14 @@ impl<'a> Sim<'a> {
             outcomes.push(outcome);
         }
         self.arrival_log.sort_by_key(|r| (r.arrival, r.id));
-        RunResult {
-            outcomes,
-            utilization,
-            arrival_log: self.arrival_log,
-        }
+        (
+            RunResult {
+                outcomes,
+                utilization,
+                arrival_log: self.arrival_log,
+            },
+            self.cache,
+        )
     }
 }
 
@@ -633,6 +829,7 @@ mod tests {
             path: "/index.html".to_string(),
             client_downlink: 1e7,
             client_rtt: SimDuration::from_millis(40),
+            client_addr: id as u32,
             background: false,
         }
     }
@@ -645,6 +842,7 @@ mod tests {
             path: path.to_string(),
             client_downlink: 1e8,
             client_rtt: SimDuration::from_millis(40),
+            client_addr: id as u32,
             background: false,
         }
     }
@@ -657,6 +855,7 @@ mod tests {
             path: path.to_string(),
             client_downlink: 1e8,
             client_rtt: SimDuration::from_millis(40),
+            client_addr: id as u32,
             background: false,
         }
     }

@@ -32,6 +32,7 @@ pub mod cache;
 pub mod cluster;
 pub mod config;
 pub mod content;
+pub mod control;
 pub mod engine;
 pub mod request;
 pub mod resource;
@@ -40,12 +41,13 @@ pub mod telemetry;
 
 pub use background::BackgroundTraffic;
 pub use cache::CacheState;
-pub use cluster::ServerCluster;
+pub use cluster::{BalancePolicy, ServerCluster};
 pub use config::{
     DatabaseConfig, DynamicHandler, HardwareSpec, ObjectCacheConfig, ServerConfig, WorkerConfig,
 };
 pub use content::{ContentCatalog, ObjectKind, ObjectSpec};
-pub use engine::ServerEngine;
+pub use control::{AdmissionVerdict, ControlAction, NullControl, ServerControl, TickSample};
+pub use engine::{EngineSession, ServerEngine};
 pub use request::{ArrivalRecord, RequestClass, RequestOutcome, RequestStatus, ServerRequest};
 pub use synthetic::{ResponseModel, SyntheticServer};
 pub use telemetry::UtilizationReport;

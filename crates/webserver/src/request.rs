@@ -45,6 +45,11 @@ pub struct ServerRequest {
     /// Round-trip time between the client and the server (used for TCP
     /// window/slow-start effects on the response).
     pub client_rtt: SimDuration,
+    /// Stable identifier of the requesting client — the stand-in for the
+    /// source IP address that per-client server defenses (rate limiters)
+    /// key on.  Requests from the same client share one identifier across
+    /// epochs; background traffic uses a disjoint identifier space.
+    pub client_addr: u32,
     /// True for regular (non-MFC) background traffic; background requests
     /// are excluded from MFC statistics but compete for every resource.
     pub background: bool,
@@ -59,6 +64,9 @@ pub enum RequestStatus {
     Refused,
     /// The requested path does not exist in the catalog.
     NotFound,
+    /// The request was deliberately shed by an admission-control or
+    /// rate-limiting defense before consuming a worker (an HTTP 503).
+    Shed,
 }
 
 /// What happened to one request.

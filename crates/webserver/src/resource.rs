@@ -84,6 +84,17 @@ impl PsResource {
         self.link.advance(now);
     }
 
+    /// The configured capacity in work-units/second.
+    pub fn capacity(&self) -> f64 {
+        self.link.capacity()
+    }
+
+    /// Changes the total capacity mid-run (a CPU frequency/quota schedule).
+    /// In-flight tasks keep their remaining work; shares are re-balanced.
+    pub fn set_capacity(&mut self, capacity: f64, now: SimTime) {
+        self.link.set_capacity(capacity.max(f64::EPSILON), now);
+    }
+
     /// Number of active tasks.
     pub fn active(&self) -> usize {
         self.link.active_flows()

@@ -84,6 +84,7 @@ impl ResponseModel {
 ///     path: "/".into(),
 ///     client_downlink: 1e7,
 ///     client_rtt: SimDuration::from_millis(10),
+///     client_addr: i as u32,
 ///     background: false,
 /// }).collect();
 /// let outcomes = server.run(reqs);
@@ -183,6 +184,7 @@ mod tests {
             path: "/".to_string(),
             client_downlink: 1e7,
             client_rtt: SimDuration::ZERO,
+            client_addr: id as u32,
             background: false,
         }
     }

@@ -34,6 +34,20 @@ pub struct UtilizationReport {
     pub refused_requests: u64,
     /// Requests completed during the window.
     pub completed_requests: u64,
+    /// Requests deliberately shed (503) by an admission-control or
+    /// rate-limiting defense before reaching a worker.
+    pub shed_requests: u64,
+    /// Requests whose response transfer was bandwidth-clamped by a
+    /// per-client rate-limiting defense.
+    pub throttled_requests: u64,
+    /// Aggregate outbound link capacity over the window in bytes/second
+    /// (summed over active replicas).  Under a control loop this is the
+    /// time-weighted mean, so mid-run scale-ups and capacity steps are
+    /// reflected proportionally; in plain runs the capacity never changes,
+    /// so it is simply the configured value.  The instrumented analogue of
+    /// the operator telling the MFC authors what their access link was
+    /// provisioned at.
+    pub link_capacity: f64,
 }
 
 impl UtilizationReport {
@@ -61,6 +75,16 @@ impl UtilizationReport {
     pub fn cpu_percent(&self) -> f64 {
         self.cpu_utilization * 100.0
     }
+
+    /// Mean outbound link utilization over the window in the range 0–1,
+    /// or `None` when the link capacity is unknown (zero).
+    pub fn link_utilization(&self) -> Option<f64> {
+        if self.link_capacity > 0.0 {
+            Some((self.network_throughput() / self.link_capacity).clamp(0.0, 1.0))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +103,9 @@ mod tests {
             peak_busy_workers: 20,
             refused_requests: 1,
             completed_requests: 55,
+            shed_requests: 0,
+            throttled_requests: 0,
+            link_capacity: 1_048_576.0,
         }
     }
 
@@ -98,5 +125,17 @@ mod tests {
             ..report()
         };
         assert_eq!(r.network_throughput(), 0.0);
+    }
+
+    #[test]
+    fn link_utilization_needs_a_known_capacity() {
+        let r = report();
+        // 524288 B/s over a 1 MiB/s link: 50%.
+        assert!((r.link_utilization().unwrap() - 0.5).abs() < 1e-9);
+        let unknown = UtilizationReport {
+            link_capacity: 0.0,
+            ..report()
+        };
+        assert_eq!(unknown.link_utilization(), None);
     }
 }

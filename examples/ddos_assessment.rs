@@ -27,12 +27,13 @@ use mfc_core::backend::sim::{SimBackend, SimTargetSpec};
 use mfc_core::config::MfcConfig;
 use mfc_core::coordinator::Coordinator;
 use mfc_core::types::Stage;
+use mfc_dynamics::DefenseConfig;
 use mfc_simcore::stats::Summary;
 use mfc_simcore::{SimDuration, SimRng, SimTime};
 use mfc_sites::SiteClass;
 use mfc_webserver::{
-    CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
-    WorkerConfig,
+    BalancePolicy, CacheState, ContentCatalog, RequestClass, ServerCluster, ServerConfig,
+    ServerEngine, ServerRequest, WorkerConfig,
 };
 
 fn target() -> SimTargetSpec {
@@ -105,6 +106,7 @@ fn main() {
             path: "/objects/large_100k.bin".to_string(),
             client_downlink: 1e8,
             client_rtt: SimDuration::from_millis(40),
+            client_addr: (i % 251) as u32,
             background: false,
         })
         .collect();
@@ -131,5 +133,116 @@ fn main() {
         "  simulated in {:.0} ms wall clock ({:.0} flows/s through the fluid core)",
         wall.as_secs_f64() * 1e3,
         crowd_size as f64 / wall.as_secs_f64()
+    );
+
+    // Part 4: the same 10k transfers as a *ramping* flood against a server
+    // that fights back.  Arrivals follow arrival_i = T·√(i/n) with
+    // T = 200 s, so the request rate grows linearly from zero to 100/s —
+    // the 8-replica ceiling — the canonical flash-crowd onset.  The
+    // defended target autoscales between 1 and 8 replicas (3 s
+    // provisioning lag, eager 1 s re-evaluation) behind a
+    // least-outstanding balancer and sheds with 503s when a replica's
+    // backlog grows — the de Paula-style cloud response to a flash-crowd
+    // event.  The number to watch is the *degradation point*: the first
+    // served transfer slower than 2 s, in arrival order, plus how many
+    // transfers ever degrade.
+    println!("\nDefended rerun: the same 10k transfers as a ramping flood");
+    let defended_threshold = SimDuration::from_secs(2);
+    let ramp_secs = 200.0;
+    let burst = |crowd: u64| -> Vec<ServerRequest> {
+        (0..crowd)
+            .map(|i| ServerRequest {
+                id: i,
+                arrival: SimTime::ZERO
+                    + SimDuration::from_micros(
+                        (ramp_secs * 1e6 * (i as f64 / crowd as f64).sqrt()) as u64,
+                    ),
+                class: RequestClass::Static,
+                path: "/objects/large_100k.bin".to_string(),
+                client_downlink: 1e8,
+                client_rtt: SimDuration::from_millis(40),
+                client_addr: (i % 251) as u32,
+                background: false,
+            })
+            .collect()
+    };
+    let server = ServerConfig {
+        workers: WorkerConfig {
+            max_workers: 65_536,
+            listen_queue: 65_536,
+            ..WorkerConfig::default()
+        },
+        ..ServerConfig::lab_apache()
+    };
+    let degradation_point = |outcomes: &[mfc_webserver::RequestOutcome]| {
+        let mut by_arrival: Vec<_> = outcomes.iter().filter(|o| o.is_ok()).collect();
+        by_arrival.sort_by_key(|o| (o.arrival, o.id));
+        let first = by_arrival
+            .iter()
+            .position(|o| o.latency() > defended_threshold);
+        let degraded = by_arrival
+            .iter()
+            .filter(|o| o.latency() > defended_threshold)
+            .count();
+        (first, degraded)
+    };
+    let describe = |label: &str,
+                    result: &mfc_webserver::engine::RunResult,
+                    wall: std::time::Duration| {
+        let latencies: Vec<f64> = result
+            .outcomes
+            .iter()
+            .filter(|o| o.is_ok())
+            .map(|o| o.latency().as_secs_f64())
+            .collect();
+        let summary = Summary::from_values(&latencies).expect("outcomes");
+        let (first, degraded) = degradation_point(&result.outcomes);
+        let point = match first {
+            Some(index) => format!("#{index}"),
+            None => "never".to_string(),
+        };
+        println!(
+            "  {label:<9} served {:>5}  shed {:>5}  p50 {:>6.2}s  p99 {:>7.2}s  degrades at {point:>6} ({degraded:>5} ever)  ({} ms wall)",
+            result.utilization.completed_requests,
+            result.utilization.shed_requests,
+            summary.median,
+            summary.p99,
+            wall.as_millis(),
+        );
+    };
+
+    let mut static_cluster =
+        ServerCluster::new(server.clone(), ContentCatalog::lab_validation(), 1);
+    let wall = Instant::now();
+    let static_result = static_cluster.run(burst(crowd_size));
+    describe("static", &static_result, wall.elapsed());
+
+    let defenses = DefenseConfig {
+        autoscaler: Some(mfc_dynamics::AutoScalerConfig {
+            min_replicas: 1,
+            max_replicas: 8,
+            // An eager profile: a flash-crowd playbook scales on early
+            // backlog and re-evaluates every second.
+            scale_up_load: 6.0,
+            scale_down_load: 1.0,
+            provisioning_lag: SimDuration::from_secs(3),
+            cooldown: SimDuration::from_secs(1),
+        }),
+        admission: DefenseConfig::shedding(100_000).admission,
+        ..DefenseConfig::none()
+    };
+    let mut stack = defenses.build();
+    let mut defended_cluster = ServerCluster::new(server, ContentCatalog::lab_validation(), 1)
+        .with_policy(BalancePolicy::LeastOutstanding);
+    let wall = Instant::now();
+    let defended_result = defended_cluster.run_controlled(burst(crowd_size), &mut stack);
+    describe("defended", &defended_result, wall.elapsed());
+    println!(
+        "  the autoscaler provisioned {} replicas as the ramp grew (admission control shed {}).\n\
+         \x20 The static server degrades permanently once the ramp crosses one link's capacity;\n\
+         \x20 the defended one only wobbles during the first provisioning lag, then absorbs the\n\
+         \x20 entire flood — the class of scenario the static-target methodology cannot see.",
+        defended_cluster.active_replicas(),
+        defended_result.utilization.shed_requests,
     );
 }

@@ -43,6 +43,39 @@ fn repeated_parallel_runs_are_stable() {
 }
 
 #[test]
+fn dynamics_survey_is_byte_identical_across_thread_counts() {
+    // The defended path adds a control loop (ticks, per-client buckets,
+    // replica scaling) on top of the engine; the guarantee must not bend:
+    // a dynamics-enabled survey is byte-identical on 1 or N workers, with
+    // all four policy kinds active.
+    let config = SurveyConfig::quick(SiteClass::Rank10KTo100K, Stage::LargeObject, 8)
+        .with_defenses(mfc_dynamics::DefenseConfig::fortress(1, 4));
+    let serial = survey_json(SiteClass::Rank10KTo100K, &config, &TrialRunner::serial());
+    for threads in [2, 8] {
+        let parallel = survey_json(
+            SiteClass::Rank10KTo100K,
+            &config,
+            &TrialRunner::with_threads(threads),
+        );
+        assert_eq!(
+            serial, parallel,
+            "defended survey output changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_dynamics_runs_are_stable() {
+    let config = SurveyConfig::quick(SiteClass::Startup, Stage::SmallQuery, 6).with_defenses(
+        mfc_dynamics::DefenseConfig::rate_limited(1.0, 0.002, 16.0 * 1024.0),
+    );
+    let runner = TrialRunner::with_threads(6);
+    let first = survey_json(SiteClass::Startup, &config, &runner);
+    let second = survey_json(SiteClass::Startup, &config, &runner);
+    assert_eq!(first, second);
+}
+
+#[test]
 fn runner_defaults_respect_the_env_contract() {
     // `from_env` must produce at least one worker no matter what; the
     // explicit constructors pin the count exactly.

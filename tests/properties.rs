@@ -697,6 +697,7 @@ fn engine_accounts_for_every_request() {
                 path: "/index.html".to_string(),
                 client_downlink: 1e7,
                 client_rtt: SimDuration::from_millis(40),
+                client_addr: i as u32,
                 background: false,
             })
             .collect();

@@ -10,11 +10,12 @@
 
 use std::time::{Duration, Instant};
 
+use mfc_dynamics::DefenseConfig;
 use mfc_simcore::{SimDuration, SimRng, SimTime};
 use mfc_simnet::{FlowId, FluidLink};
 use mfc_webserver::{
-    CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
-    WorkerConfig,
+    BalancePolicy, CacheState, ContentCatalog, RequestClass, ServerCluster, ServerConfig,
+    ServerEngine, ServerRequest, WorkerConfig,
 };
 
 #[test]
@@ -72,6 +73,7 @@ fn thousand_request_large_object_crowd_completes_quickly() {
         path: "/objects/large_100k.bin".to_string(),
         client_downlink: 1e8,
         client_rtt: SimDuration::from_millis(40),
+        client_addr: 0,
         background: false,
     };
     engine.run(vec![warm.clone()], &mut cache);
@@ -94,5 +96,65 @@ fn thousand_request_large_object_crowd_completes_quickly() {
     assert!(
         elapsed < Duration::from_secs(30),
         "1k-request large-object crowd took {elapsed:?}"
+    );
+}
+
+#[test]
+fn ten_k_crowd_with_all_four_defenses_stays_under_wall_clock_budget() {
+    // The dynamics layer adds a control loop on top of the engine: ticks,
+    // per-client token buckets, admission windows, replica scaling and a
+    // capacity schedule.  None of that may bend the scaling law — a
+    // 10k-request ramp through all four policies at once must stay firmly
+    // interactive.  The ceiling is an order of magnitude above the
+    // expected debug-mode cost; CI additionally runs this file in release
+    // where the run takes tens of milliseconds.
+    let started = Instant::now();
+    let config = ServerConfig {
+        workers: WorkerConfig {
+            max_workers: 65_536,
+            listen_queue: 65_536,
+            ..WorkerConfig::default()
+        },
+        ..ServerConfig::lab_apache()
+    };
+    let crowd: Vec<ServerRequest> = (0..10_000u64)
+        .map(|i| ServerRequest {
+            id: i,
+            // A 100-second ramp, like a flash-crowd onset.
+            arrival: SimTime::ZERO
+                + SimDuration::from_micros((1e8 * (i as f64 / 10_000.0).sqrt()) as u64),
+            class: RequestClass::Static,
+            path: "/objects/large_100k.bin".to_string(),
+            client_downlink: 1e8,
+            client_rtt: SimDuration::from_millis(40),
+            client_addr: (i % 509) as u32,
+            background: false,
+        })
+        .collect();
+    let mut stack = DefenseConfig::fortress(1, 8).build();
+    let mut cluster = ServerCluster::new(config, ContentCatalog::lab_validation(), 1)
+        .with_policy(BalancePolicy::LeastOutstanding);
+    let result = cluster.run_controlled(crowd, &mut stack);
+    assert_eq!(result.outcomes.len(), 10_000);
+    // Every request was answered one way or another: served, refused or
+    // deliberately shed — nobody is silently dropped.
+    let answered = result.utilization.completed_requests
+        + result.utilization.refused_requests
+        + result.utilization.shed_requests;
+    assert_eq!(answered, 10_000);
+    // The defenses actually engaged.
+    assert!(
+        cluster.active_replicas() > 1,
+        "the autoscaler must have scaled out"
+    );
+    assert!(
+        result.utilization.shed_requests > 0 || result.utilization.throttled_requests > 0,
+        "rate limiting / admission control must have touched the crowd"
+    );
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "10k-crowd dynamic scenario took {elapsed:?}; the control loop has broken the \
+         engine's scaling law"
     );
 }
