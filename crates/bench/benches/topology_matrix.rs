@@ -1,0 +1,20 @@
+//! Times the quick-scale shared-bottleneck topology matrix and prints its
+//! table once — the topology analogue of the table benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::topology_matrix;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = topology_matrix::run(Scale::Quick, 77);
+    println!("{}", result.render_text());
+    let mut group = c.benchmark_group("topology_matrix");
+    group.sample_size(10);
+    group.bench_function("quick", |b| {
+        b.iter(|| topology_matrix::run(Scale::Quick, 77));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

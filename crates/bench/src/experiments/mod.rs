@@ -13,6 +13,7 @@
 //! | [`special_tables`] | Tables 4–5 | startup and phishing server breakdowns |
 //! | [`ablation`] | (ours) | value of delay-compensated scheduling and the 90th-percentile detector |
 //! | [`dynamics_matrix`] | (ours) | Table 1–3 site configs vs. reactive defenses (autoscaling, shedding, rate limiting) |
+//! | [`topology_matrix`] | (ours) | the §2.2.3 hazard made concrete: bandwidth bottlenecks moved around a shared WAN graph vs. the vantage-aware localization verdict |
 
 pub mod ablation;
 pub mod dynamics_matrix;
@@ -25,3 +26,4 @@ pub mod special_tables;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod topology_matrix;

@@ -128,6 +128,7 @@ impl MfcBackend for SyntheticBackend {
             };
             observations.push(ClientObservation {
                 client: *client,
+                group: 0,
                 status,
                 bytes: 0,
                 response_time,

@@ -210,6 +210,7 @@ impl MfcBackend for LiveBackend {
                 };
                 ClientObservation {
                     client: client_id,
+                    group: 0,
                     status,
                     bytes: result.body_bytes as u64,
                     response_time: LiveBackend::to_sim(result.elapsed + extra * 2),

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use mfc_dynamics::{DefenseConfig, DefenseStack};
 use mfc_simcore::{SimDuration, SimRng, SimTime};
 use mfc_simnet::{ControlChannel, PopulationProfile, WideAreaModel};
+use mfc_topology::TopologySpec;
 use mfc_webserver::{
     BackgroundTraffic, CacheState, ContentCatalog, RequestClass, RequestStatus, ServerCluster,
     ServerConfig, ServerEngine, ServerRequest,
@@ -47,6 +48,11 @@ pub struct SimTargetSpec {
     /// rate limiting, capacity schedules).  Static by default — the
     /// paper's assumption.
     pub defenses: DefenseConfig,
+    /// Shared wide-area bottlenecks between the vantage groups and the
+    /// target: per-group transit links, an optional backbone, cross
+    /// traffic.  Direct (access link only) by default — the pre-topology
+    /// model, where every bandwidth bottleneck is at the server.
+    pub topology: TopologySpec,
 }
 
 impl SimTargetSpec {
@@ -61,6 +67,7 @@ impl SimTargetSpec {
             control_loss: 0.01,
             population: PopulationProfile::planetlab(),
             defenses: DefenseConfig::none(),
+            topology: TopologySpec::direct(),
         }
     }
 
@@ -104,6 +111,18 @@ impl SimTargetSpec {
     /// True when no defense policy is enabled.
     pub fn is_static_target(&self) -> bool {
         self.defenses.is_static()
+    }
+
+    /// Places shared wide-area bottlenecks between the clients and the
+    /// target.  The population's vantage grouping is *derived* from the
+    /// topology when the backend is built (one group per transit link,
+    /// round-robin), so the WAN model and the topology always agree on who
+    /// sits behind which bottleneck regardless of the order the spec's
+    /// fields are assigned in.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        topology.validate().expect("invalid topology spec");
+        self.topology = topology;
+        self
     }
 }
 
@@ -175,7 +194,24 @@ impl SimBackend {
     /// wide-area clients, fully determined by `seed`.
     pub fn new(spec: SimTargetSpec, client_count: usize, seed: u64) -> Self {
         let rng = SimRng::seed_from(seed);
-        let wan = WideAreaModel::generate(&spec.population, client_count, &rng);
+        // The vantage grouping is derived from the topology — a single
+        // source of truth, immune to the order the spec's public fields
+        // were assigned in.  A population the caller already clustered to
+        // match the topology is respected as configured (including its
+        // RTT skew); otherwise the grouping is derived with the default
+        // geographic skew of [`PopulationProfile::grouped`].
+        let population = if spec.topology.is_direct()
+            || spec.population.vantage_groups == spec.topology.group_count()
+        {
+            spec.population.clone()
+        } else {
+            PopulationProfile {
+                group_rtt_spread: 0.3,
+                ..spec.population.clone()
+            }
+            .with_vantage_groups(spec.topology.group_count())
+        };
+        let wan = WideAreaModel::generate(&population, client_count, &rng);
         let control = ControlChannel::new(spec.control_loss, 0.05, rng.fork("control"));
         let defended = !spec.defenses.is_static();
         let replicas = if defended {
@@ -183,18 +219,29 @@ impl SimBackend {
         } else {
             spec.replicas
         };
+        // Shared transit links are instantiated per serving replica, so a
+        // fixed-size cluster divides the spec'd capacities to keep the
+        // aggregate contention right; a replica count that *changes*
+        // mid-run (an autoscaler) would silently dissolve the shared
+        // bottleneck and is rejected.
+        assert!(
+            spec.topology.is_direct() || spec.defenses.autoscaler.is_none(),
+            "autoscaling behind a shared-path topology is not modelled: transit links are \
+             instantiated per replica, so scaling out would multiply the shared capacity"
+        );
+        let topology = spec.topology.share_across(replicas);
         // A defended target always runs through the cluster's controlled
         // sweep (an autoscaler needs replica routing even when it starts
         // from one machine).
         let target = if replicas > 1 || defended {
-            Target::Cluster(ServerCluster::new(
-                spec.server.clone(),
-                spec.catalog.clone(),
-                replicas,
-            ))
+            Target::Cluster(
+                ServerCluster::new(spec.server.clone(), spec.catalog.clone(), replicas)
+                    .with_topology(topology),
+            )
         } else {
             Target::Single {
-                engine: ServerEngine::new(spec.server.clone(), spec.catalog.clone()),
+                engine: ServerEngine::new(spec.server.clone(), spec.catalog.clone())
+                    .with_topology(topology),
                 cache: CacheState::new(),
             }
         };
@@ -410,6 +457,7 @@ impl MfcBackend for SimBackend {
                 .unwrap_or(SimDuration::ZERO);
             observations.push(ClientObservation {
                 client: *client,
+                group: self.wan.client(client.0 as usize).group as u32,
                 status,
                 bytes: outcome.body_bytes,
                 response_time,

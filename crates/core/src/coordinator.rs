@@ -357,6 +357,29 @@ impl Coordinator {
         let arrival_spread_90 =
             mfc_webserver::request::central_spread(&observation.target_arrivals, 0.9);
 
+        // Vantage-aware localization input: the per-group medians of the
+        // normalized response times.  A skewed profile (one group far above
+        // θ, the rest flat) is the remote fingerprint of a shared *path*
+        // bottleneck rather than a server constraint.
+        let mut by_group: std::collections::BTreeMap<u32, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for o in &observation.observations {
+            if o.status.produced_sample() {
+                by_group
+                    .entry(o.group)
+                    .or_default()
+                    .push(o.normalized().as_millis_f64());
+            }
+        }
+        let group_median_ms: Vec<(u32, f64)> = if by_group.len() > 1 {
+            by_group
+                .iter()
+                .filter_map(|(&g, samples)| stats::median(samples).map(|m| (g, m)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         // Defense-fingerprint observables (used by the inference layer to
         // tell a fighting-back server from a genuinely constrained one).
         let samples = observation
@@ -430,7 +453,9 @@ impl Coordinator {
             detector_ms,
             median_ms,
             check_phase,
+            commands_lost: observation.lost_commands,
             arrival_spread_90,
+            group_median_ms,
             error_rate,
             client_goodput_median,
             client_goodput_cov,
@@ -720,6 +745,158 @@ mod tests {
         );
         assert!(!report.inference.defense_suspected());
         assert!(stage.epochs.iter().all(|e| e.error_rate == 0.0));
+    }
+
+    #[test]
+    fn undersized_transit_link_reads_as_path_congestion_not_server_constraint() {
+        // A well-provisioned server (gigabit access link), but one of four
+        // vantage groups sits behind a 1.6 Mbit/s shared transit link.
+        // The Large Object stage trips the detector — the pinned group's
+        // transfers crawl — yet the inference must localize the bottleneck
+        // to the path, not report a server bandwidth constraint.
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::validation_server(),
+            ContentCatalog::lab_validation(),
+        )
+        .with_topology(mfc_topology::TopologySpec::star(&[
+            mfc_simnet::mbps(1.6),
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+        ]));
+        let mut backend = SimBackend::new(spec, 60, 14);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::LargeObject])
+            .with_max_crowd(40)
+            .with_increment(10);
+        let report = Coordinator::new(config)
+            .with_seed(6)
+            .run(&mut backend)
+            .unwrap();
+        let stage = &report.stages[0];
+        assert!(
+            stage.outcome.stopping_crowd().is_some(),
+            "the pinned group must trip the 90th-percentile detector: {:?}",
+            stage.outcome
+        );
+        assert_eq!(
+            report.inference.cause_of(Stage::LargeObject),
+            Some(crate::inference::DegradationCause::PathCongestion),
+            "a shared transit bottleneck must not be read as a server \
+             constraint; tail epoch: {:?}",
+            stage.epochs.last()
+        );
+        assert!(report.inference.path_congestion_suspected());
+        assert!(!report.inference.defense_suspected());
+        // The per-group medians carry the evidence.
+        let tail = stage.epochs.last().unwrap();
+        assert!(tail.group_median_ms.len() >= 2, "{tail:?}");
+    }
+
+    #[test]
+    fn mirrored_access_bottleneck_still_reads_as_server_constraint() {
+        // The mirror image: generous transit links, but the *server's* own
+        // access link is the thin one.  Every vantage group degrades
+        // together, so the verdict stays a genuine resource constraint.
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::lab_apache(), // 10 Mbit/s access link
+            ContentCatalog::lab_validation(),
+        )
+        .with_topology(mfc_topology::TopologySpec::star(&[
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+        ]));
+        let mut backend = SimBackend::new(spec, 60, 14);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::LargeObject])
+            .with_max_crowd(50)
+            .with_increment(10);
+        let report = Coordinator::new(config)
+            .with_seed(6)
+            .run(&mut backend)
+            .unwrap();
+        let stage = &report.stages[0];
+        assert!(
+            stage.outcome.stopping_crowd().is_some(),
+            "{:?}",
+            stage.outcome
+        );
+        assert_eq!(
+            report.inference.cause_of(Stage::LargeObject),
+            Some(crate::inference::DegradationCause::ResourceConstraint),
+            "a genuinely thin access link must keep its server verdict; \
+             tail epoch: {:?}",
+            stage.epochs.last()
+        );
+        assert!(!report.inference.path_congestion_suspected());
+    }
+
+    #[test]
+    fn rate_limit_clamp_stays_distinguishable_from_path_clamp() {
+        // PR 3's interaction case: a defended target whose per-client rate
+        // limiter clamps every prober.  Both a path bottleneck and the
+        // limiter leave the access link idle, but the limiter hits every
+        // vantage group alike — the group medians stay symmetric, so the
+        // verdict must remain RateLimitDefense even with a multi-group
+        // topology in front.
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::validation_server(),
+            ContentCatalog::lab_validation(),
+        )
+        .with_topology(mfc_topology::TopologySpec::star(&[
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+            mfc_simnet::mbps(1000.0),
+        ]))
+        .with_defenses(mfc_dynamics::DefenseConfig::rate_limited(
+            1.0,
+            0.002,
+            16.0 * 1024.0,
+        ));
+        let mut backend = SimBackend::new(spec, 60, 21);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::LargeObject])
+            .with_max_crowd(40)
+            .with_increment(10);
+        let report = Coordinator::new(config)
+            .with_seed(4)
+            .run(&mut backend)
+            .unwrap();
+        assert_eq!(
+            report.inference.cause_of(Stage::LargeObject),
+            Some(crate::inference::DegradationCause::RateLimitDefense),
+            "a symmetric per-client clamp must not be mistaken for path \
+             congestion: {:?}",
+            report.stages[0].epochs.last()
+        );
+        assert!(report.inference.defense_suspected());
+        assert!(!report.inference.path_congestion_suspected());
+    }
+
+    #[test]
+    fn lossy_control_plane_is_auditable_from_the_report() {
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::lab_apache(),
+            ContentCatalog::lab_validation(),
+        )
+        .with_control_loss(0.3);
+        let mut backend = SimBackend::new(spec, 60, 7);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(30)
+            .with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        // With 30% loss the gap must show up in the report itself, and it
+        // must agree with the backend's own counter.
+        assert!(report.total_commands_lost() > 0);
+        assert_eq!(
+            u64::from(report.total_commands_lost()),
+            backend.control_messages_lost()
+        );
+        assert!(report.render_text().contains("lost in transit"));
     }
 
     #[test]

@@ -53,13 +53,14 @@ impl Provisioning {
     }
 }
 
-/// What a stage's outcome is attributed to once the defense fingerprints
-/// are taken into account.
+/// What a stage's outcome is attributed to once the defense and path
+/// fingerprints are taken into account.
 ///
-/// The paper's methodology assumes the target is *static*: any persistent
-/// response-time degradation is read as a resource constraint.  A reacting
-/// server breaks that assumption in two directions, and both are visible in
-/// the per-epoch observables:
+/// The paper's methodology assumes the target is *static* and the network
+/// transparent: any persistent response-time degradation is read as a
+/// resource constraint at the server.  Three mechanisms break that
+/// assumption, and each leaves a distinct mark in the per-epoch
+/// observables:
 ///
 /// * a **per-client rate limiter** clamps every probe client's throughput
 ///   to one common ceiling, so response times blow past θ while the
@@ -67,7 +68,11 @@ impl Provisioning {
 ///   bandwidth constraint that is not there;
 /// * a **load-shedding** defense answers the excess crowd with fast 503s,
 ///   which the response-time detector reads as a *healthy* server — the
-///   MFC would report NoStop for a site that is refusing service.
+///   MFC would report NoStop for a site that is refusing service;
+/// * a **shared path bottleneck** (an undersized transit link in front of
+///   one vantage group) inflates that group's response times no matter how
+///   well the server is provisioned — the central §2.2.3 hazard the
+///   per-group medians exist to catch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DegradationCause {
     /// The degradation pattern matches a genuine resource constraint.
@@ -86,6 +91,13 @@ pub enum DegradationCause {
     /// The outcome is dominated by deliberate 503 shedding; for a NoStop
     /// outcome this means the verdict is defense-masked, not healthy.
     LoadSheddingDefense,
+    /// The degradation bears the shared-path signature: one (or a
+    /// minority of) vantage group's normalized response times rise far
+    /// past θ while at least one other group stays flat.  A constraint at
+    /// the server — or a per-client rate limiter — hits every group
+    /// alike, so a skewed per-group profile localizes the bottleneck to
+    /// the affected groups' shared path, not the target.
+    PathCongestion,
     /// No confirmed degradation and no defense fingerprints.
     NotDegraded,
     /// Not enough evidence (stage skipped, or no epoch produced samples).
@@ -151,7 +163,7 @@ impl InferenceReport {
                     },
                     StageOutcome::Skipped => Provisioning::Unknown,
                 },
-                cause: Self::assess_cause(report),
+                cause: Self::assess_cause(report, config.threshold.as_millis_f64()),
             })
             .collect();
 
@@ -200,6 +212,15 @@ impl InferenceReport {
         })
     }
 
+    /// True when any stage's degradation is localized to a shared path
+    /// bottleneck in front of a subset of vantage groups — i.e. the
+    /// stopping crowd says nothing about the target's own provisioning.
+    pub fn path_congestion_suspected(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| c.cause == DegradationCause::PathCongestion)
+    }
+
     /// Minimum fraction of HTTP-error samples in the assessed tail epochs
     /// above which an outcome is attributed to load shedding.
     const SHED_RATE_THRESHOLD: f64 = 0.25;
@@ -209,9 +230,13 @@ impl InferenceReport {
     /// Maximum delivered-aggregate / link-capacity ratio for the "the link
     /// was never the problem" half of the rate-limit signature.
     const CLAMP_HEADROOM_THRESHOLD: f64 = 0.5;
+    /// A vantage group counts as *flat* when its median normalized
+    /// response time stays below this fraction of θ while another group
+    /// exceeds θ — the asymmetry a server-side constraint cannot produce.
+    const PATH_FLAT_FRACTION: f64 = 0.25;
 
     /// Attributes a stage outcome by fingerprinting its final epochs.
-    fn assess_cause(report: &StageReport) -> DegradationCause {
+    fn assess_cause(report: &StageReport, threshold_ms: f64) -> DegradationCause {
         let epochs: Vec<&EpochSummary> = report
             .epochs
             .iter()
@@ -231,6 +256,37 @@ impl InferenceReport {
         if !stopped {
             return DegradationCause::NotDegraded;
         }
+        // Path localization comes before the rate-limit fingerprint: both
+        // leave the server's link idle, but only a path bottleneck is
+        // asymmetric across vantage groups (a per-client limiter clamps
+        // every group alike).  The verdict needs a strict majority of the
+        // evidence epochs that carry group data to show the skew — one
+        // group's median past θ while another stays flat.
+        let with_groups: Vec<&&EpochSummary> = tail
+            .iter()
+            .filter(|e| e.group_median_ms.len() > 1)
+            .collect();
+        if !with_groups.is_empty() {
+            let skewed = with_groups
+                .iter()
+                .filter(|e| {
+                    let max = e
+                        .group_median_ms
+                        .iter()
+                        .map(|&(_, m)| m)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let min = e
+                        .group_median_ms
+                        .iter()
+                        .map(|&(_, m)| m)
+                        .fold(f64::INFINITY, f64::min);
+                    max > threshold_ms && min < Self::PATH_FLAT_FRACTION * threshold_ms
+                })
+                .count();
+            if skewed * 2 > with_groups.len() {
+                return DegradationCause::PathCongestion;
+            }
+        }
         // The clamp signature needs bandwidth-bound transfers, so it is
         // only diagnostic for the Large Object stage.  Any tail epoch
         // bearing the signature suffices — a stray client whose bucket
@@ -238,17 +294,50 @@ impl InferenceReport {
         // high-variance epoch.  (Under a genuine constraint no epoch shows
         // clamped goodputs *and* link headroom, so this stays safe.)
         if report.stage == Stage::LargeObject {
-            let clamped = tail.iter().any(|e| {
-                match (e.client_goodput_cov, e.aggregate_goodput, e.link_capacity) {
-                    (Some(cov), Some(aggregate), Some(capacity)) if capacity > 0.0 => {
-                        cov < Self::CLAMP_COV_THRESHOLD
-                            && aggregate / capacity < Self::CLAMP_HEADROOM_THRESHOLD
-                    }
-                    _ => false,
+            let signature = |e: &EpochSummary| match (
+                e.client_goodput_cov,
+                e.aggregate_goodput,
+                e.link_capacity,
+            ) {
+                (Some(cov), Some(aggregate), Some(capacity)) if capacity > 0.0 => {
+                    cov < Self::CLAMP_COV_THRESHOLD
+                        && aggregate / capacity < Self::CLAMP_HEADROOM_THRESHOLD
                 }
-            });
-            if clamped {
-                return DegradationCause::RateLimitDefense;
+                _ => false,
+            };
+            if tail.iter().any(|e| signature(e)) {
+                // The signature says "everyone clamps to a common ceiling
+                // while the measured link idles" — true of a per-client
+                // limiter *and* of a shared upstream bottleneck every
+                // vantage group traverses (a thin backbone).  The two are
+                // still separable by how the ceiling moves with the crowd:
+                // a token bucket grants each client a fixed rate regardless
+                // of crowd size, while shared bandwidth divides, scaling
+                // the per-client goodput like 1/crowd.  Compare the
+                // smallest- and largest-crowd epochs that bear the
+                // signature; a goodput ratio beyond the geometric midpoint
+                // of the crowd ratio is bandwidth division, not a limiter.
+                let clamped_epochs: Vec<(usize, f64)> = epochs
+                    .iter()
+                    .filter(|e| signature(e))
+                    .filter_map(|e| e.client_goodput_median.map(|m| (e.crowd_size, m)))
+                    .collect();
+                let small = clamped_epochs.iter().min_by_key(|&&(c, _)| c);
+                let large = clamped_epochs.iter().max_by_key(|&&(c, _)| c);
+                let divides_like_bandwidth = match (small, large) {
+                    (Some(&(c_small, m_small)), Some(&(c_large, m_large)))
+                        if c_large >= 2 * c_small && m_large > 0.0 =>
+                    {
+                        let crowd_ratio = c_large as f64 / c_small as f64;
+                        m_small / m_large > crowd_ratio.sqrt()
+                    }
+                    // Too narrow a crowd span to tell: keep the defense
+                    // attribution (the pre-topology behaviour).
+                    _ => false,
+                };
+                if !divides_like_bandwidth {
+                    return DegradationCause::RateLimitDefense;
+                }
             }
         }
         DegradationCause::ResourceConstraint
@@ -337,6 +426,15 @@ impl InferenceReport {
                         c.subsystem
                     )),
                 },
+                DegradationCause::PathCongestion => notes.push(format!(
+                    "{} stage: the confirmed degradation is localized to a subset of vantage \
+                     groups — their normalized response times blow past the threshold while \
+                     other groups stay flat.  A {} constraint would hit every vantage point \
+                     alike; this is congestion on the affected groups' shared path, not a \
+                     server bottleneck.",
+                    c.stage.name(),
+                    c.subsystem
+                )),
                 DegradationCause::ResourceConstraint
                 | DegradationCause::NotDegraded
                 | DegradationCause::Indeterminate => {}
@@ -404,7 +502,9 @@ mod tests {
             detector_ms: 500.0,
             median_ms: 500.0,
             check_phase: false,
+            commands_lost: 0,
             arrival_spread_90: None,
+            group_median_ms: Vec::new(),
             error_rate,
             client_goodput_median: median,
             client_goodput_cov: cov,
@@ -516,6 +616,66 @@ mod tests {
         assert_eq!(inference.ddos_exposure, DdosExposure::Unknown);
     }
 
+    fn epoch_with_groups(crowd: usize, medians: &[(u32, f64)]) -> EpochSummary {
+        let mut e = epoch(crowd, 0.0, None);
+        e.group_median_ms = medians.to_vec();
+        e
+    }
+
+    #[test]
+    fn skewed_group_medians_localize_to_the_path() {
+        // Group 0 blows past the 100 ms threshold while groups 1–3 stay
+        // flat: a server constraint cannot be that selective.
+        let mut report = stage_report(Stage::LargeObject, StageOutcome::Stopped { crowd_size: 20 });
+        report.epochs = vec![
+            epoch_with_groups(15, &[(0, 900.0), (1, 8.0), (2, 12.0), (3, 6.0)]),
+            epoch_with_groups(20, &[(0, 1_400.0), (1, 10.0), (2, 9.0), (3, 11.0)]),
+            epoch_with_groups(20, &[(0, 1_500.0), (1, 12.0), (2, 14.0), (3, 8.0)]),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::LargeObject),
+            Some(DegradationCause::PathCongestion)
+        );
+        assert!(inference.path_congestion_suspected());
+        assert!(!inference.defense_suspected());
+        assert!(inference.notes.iter().any(|n| n.contains("shared path")));
+    }
+
+    #[test]
+    fn uniform_group_degradation_stays_a_server_constraint() {
+        // Every vantage group degrades together: that is the server (or a
+        // symmetric defense), not the path.
+        let mut report = stage_report(Stage::LargeObject, StageOutcome::Stopped { crowd_size: 20 });
+        report.epochs = vec![
+            epoch_with_groups(20, &[(0, 700.0), (1, 650.0), (2, 800.0), (3, 720.0)]),
+            epoch_with_groups(20, &[(0, 900.0), (1, 840.0), (2, 760.0), (3, 880.0)]),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::LargeObject),
+            Some(DegradationCause::ResourceConstraint)
+        );
+        assert!(!inference.path_congestion_suspected());
+    }
+
+    #[test]
+    fn path_skew_must_be_consistent_across_the_evidence_epochs() {
+        // Only one of three evidence epochs shows the skew — not enough to
+        // overturn the server attribution.
+        let mut report = stage_report(Stage::LargeObject, StageOutcome::Stopped { crowd_size: 20 });
+        report.epochs = vec![
+            epoch_with_groups(20, &[(0, 600.0), (1, 500.0)]),
+            epoch_with_groups(20, &[(0, 700.0), (1, 10.0)]),
+            epoch_with_groups(20, &[(0, 650.0), (1, 620.0)]),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::LargeObject),
+            Some(DegradationCause::ResourceConstraint)
+        );
+    }
+
     #[test]
     fn clamped_goodputs_over_an_idle_link_read_as_rate_limiting() {
         // 30 clients all at ~16 KB/s (cov 0.05) summing to 480 KB/s on a
@@ -531,6 +691,27 @@ mod tests {
             Some(DegradationCause::RateLimitDefense)
         );
         assert!(inference.defense_suspected());
+    }
+
+    #[test]
+    fn shared_bandwidth_division_is_not_mistaken_for_a_rate_limiter() {
+        // Every epoch bears the clamp signature (uniform goodputs, idle
+        // measured link), but the per-client goodput divides like 1/crowd
+        // across epochs: that is shared bandwidth upstream of the access
+        // link, not a token bucket handing each client a fixed rate.
+        let mut report = stage_report(Stage::LargeObject, StageOutcome::Stopped { crowd_size: 40 });
+        report.epochs = vec![
+            epoch(10, 0.0, Some((50_000.0, 0.05, 500_000.0))),
+            epoch(20, 0.0, Some((25_000.0, 0.05, 500_000.0))),
+            epoch(40, 0.0, Some((12_500.0, 0.05, 500_000.0))),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::LargeObject),
+            Some(DegradationCause::ResourceConstraint),
+            "1/crowd goodput division must defeat the clamp fingerprint"
+        );
+        assert!(!inference.defense_suspected());
     }
 
     #[test]

@@ -47,6 +47,21 @@ impl StageReport {
         }
     }
 
+    /// Control commands lost during this stage (Table 2's "scheduled vs.
+    /// received" gap, summed over the stage's epochs).
+    pub fn commands_lost(&self) -> u32 {
+        self.epochs.iter().map(|e| e.commands_lost).sum()
+    }
+
+    /// Requests the coordinator scheduled vs. samples actually observed
+    /// over the stage — the auditable coverage of the stage's evidence.
+    pub fn scheduled_vs_observed(&self) -> (usize, usize) {
+        (
+            self.epochs.iter().map(|e| e.requests_scheduled).sum(),
+            self.epochs.iter().map(|e| e.requests_observed).sum(),
+        )
+    }
+
     /// The series `(crowd size, detector milliseconds)` over the stage's
     /// non-check epochs — the data behind Figure 4/5/6-style plots.
     pub fn detector_series(&self) -> Vec<(usize, f64)> {
@@ -86,6 +101,13 @@ impl MfcReport {
         self.stage(stage).and_then(|s| s.outcome.stopping_crowd())
     }
 
+    /// Total control commands lost in transit across the whole run — the
+    /// aggregate "scheduled vs. received" gap of Table 2, auditable from
+    /// the report instead of only from backend counters.
+    pub fn total_commands_lost(&self) -> u32 {
+        self.stages.iter().map(|s| s.commands_lost()).sum()
+    }
+
     /// Renders a compact, paper-style text table plus the inference notes.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -94,16 +116,25 @@ impl MfcReport {
             self.threshold_ms, self.requests_per_client, self.clients_registered, self.total_requests
         ));
         out.push_str(&format!(
-            "{:<14} {:>18} {:>8} {:>14}\n",
-            "Stage", "Stopping crowd", "Epochs", "Requests"
+            "{:<14} {:>18} {:>8} {:>14} {:>16}\n",
+            "Stage", "Stopping crowd", "Epochs", "Requests", "Sched/Observed"
         ));
         for stage in &self.stages {
+            let (scheduled, observed) = stage.scheduled_vs_observed();
             out.push_str(&format!(
-                "{:<14} {:>18} {:>8} {:>14}\n",
+                "{:<14} {:>18} {:>8} {:>14} {:>16}\n",
                 stage.stage.name(),
                 stage.outcome_cell(),
                 stage.epochs.len(),
-                stage.requests_issued
+                stage.requests_issued,
+                format!("{scheduled}/{observed}")
+            ));
+        }
+        let lost = self.total_commands_lost();
+        if lost > 0 {
+            out.push_str(&format!(
+                "Control plane: {lost} command(s) lost in transit (Table 2's scheduled vs. \
+                 received gap).\n"
             ));
         }
         if !self.inference.notes.is_empty() {
@@ -132,7 +163,9 @@ mod tests {
             detector_ms: detector,
             median_ms: detector,
             check_phase: check,
+            commands_lost: 1,
             arrival_spread_90: Some(SimDuration::from_millis(200)),
+            group_median_ms: Vec::new(),
             error_rate: 0.0,
             client_goodput_median: None,
             client_goodput_cov: None,
@@ -210,6 +243,20 @@ mod tests {
         assert!(text.contains("NoStop (55)"));
         assert!(text.contains("Inferences:"));
         assert!(text.contains("threshold 100 ms"));
+        // The control-plane gap is auditable from the report text.
+        assert!(text.contains("Sched/Observed"));
+        assert!(text.contains("5 command(s) lost"));
+    }
+
+    #[test]
+    fn commands_lost_aggregate_across_stages_and_epochs() {
+        let report = sample_report();
+        // Five epochs across the two run stages, one lost command each.
+        assert_eq!(report.total_commands_lost(), 5);
+        assert_eq!(report.stages[0].commands_lost(), 3);
+        let (scheduled, observed) = report.stages[0].scheduled_vs_observed();
+        assert_eq!(scheduled, 60);
+        assert_eq!(observed, 60);
     }
 
     #[test]

@@ -161,6 +161,11 @@ impl ProbeStatus {
 pub struct ClientObservation {
     /// Reporting client.
     pub client: ClientId,
+    /// The client's vantage group (clients behind one shared transit
+    /// bottleneck).  Zero when the backend has no topology information —
+    /// live clients know their own group no better than the paper's
+    /// PlanetLab hosts did, but the coordinator can cluster by RTT there.
+    pub group: u32,
     /// Completion status.
     pub status: ProbeStatus,
     /// Body bytes received.
@@ -232,9 +237,22 @@ pub struct EpochSummary {
     pub median_ms: f64,
     /// Whether this epoch was part of a check phase.
     pub check_phase: bool,
+    /// Commands whose control message never reached a client (the
+    /// "scheduled vs. received" gap of Table 2) — `requests_scheduled −
+    /// requests_observed` also counts client-side failures, so the lost
+    /// control messages are recorded separately to keep lossy-control runs
+    /// auditable from the report alone.
+    pub commands_lost: u32,
     /// Spread of the middle 90% of target arrival times, when logs were
     /// available (Table 2's synchronization metric).
     pub arrival_spread_90: Option<SimDuration>,
+    /// Median normalized response time per vantage group, as `(group,
+    /// median ms)` pairs for every group that produced samples.  Empty
+    /// when the population has a single (or unknown) group.  The
+    /// inference layer reads a *skewed* profile — one group far above the
+    /// threshold while the rest sit flat — as congestion on that group's
+    /// shared path rather than a constraint at the server.
+    pub group_median_ms: Vec<(u32, f64)>,
     /// Fraction of produced samples that were HTTP *server* errors (5xx —
     /// what a shedding defense sends; 4xx client errors and TCP refusals
     /// are excluded).  A spike here with a *low* detector statistic is the
@@ -310,6 +328,7 @@ mod tests {
     fn normalized_response_time_floors_at_zero() {
         let obs = ClientObservation {
             client: ClientId(1),
+            group: 0,
             status: ProbeStatus::Ok,
             bytes: 10,
             response_time: SimDuration::from_millis(80),
@@ -361,6 +380,7 @@ mod tests {
     fn epoch_observation_filters_failed_commands() {
         let make = |status, ms| ClientObservation {
             client: ClientId(0),
+            group: 0,
             status,
             bytes: 0,
             response_time: SimDuration::from_millis(ms),

@@ -82,11 +82,18 @@ pub struct WaterLevel {
 /// assert_eq!(wl.saturated_sum, 200.0);
 /// assert_eq!(wl.level, 800.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CapMultiset {
     nodes: Vec<Node>,
     free: Vec<u32>,
     root: u32,
+}
+
+impl Default for CapMultiset {
+    // Not derivable: an empty tree's root is the NIL sentinel, not 0.
+    fn default() -> Self {
+        CapMultiset::new()
+    }
 }
 
 impl CapMultiset {
@@ -201,6 +208,53 @@ impl CapMultiset {
             saturated_sum,
             level,
         }
+    }
+
+    /// Count and sum of all caps `<=` the cap encoded by `cap_bits`
+    /// (IEEE-754 bit pattern of a finite non-negative f64).  O(log n), with
+    /// the same fixed root-to-leaf accumulation order as
+    /// [`CapMultiset::water_level`], so the float result is reproducible.
+    ///
+    /// This is the building block the multi-link network allocator uses: a
+    /// link's *demand* at a candidate water level `w` is
+    /// `sum(<=w) + w·(flows − count(<=w))`, and the allocator evaluates it
+    /// across every route sharing the link.
+    pub fn prefix(&self, cap_bits: u64) -> (u64, f64) {
+        let mut node = self.root;
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        while node != NIL {
+            let nd = &self.nodes[node as usize];
+            if nd.key_bits <= cap_bits {
+                let (lc, ls) = self.child_aggregates(nd.left);
+                count += lc + nd.count;
+                sum += ls + f64::from_bits(nd.key_bits) * nd.count as f64;
+                node = nd.right;
+            } else {
+                node = nd.left;
+            }
+        }
+        (count, sum)
+    }
+
+    /// Largest stored cap (bit pattern) for which the monotone predicate
+    /// holds, or `None` when it holds for no stored cap.  `pred` must be
+    /// monotone decreasing in the cap (true for small caps, false beyond
+    /// some threshold) — exactly the shape of "is this cap still saturated
+    /// at the link's water level".  O(log n) predicate evaluations.
+    pub fn partition_max(&self, mut pred: impl FnMut(f64) -> bool) -> Option<u64> {
+        let mut node = self.root;
+        let mut best = None;
+        while node != NIL {
+            let nd = &self.nodes[node as usize];
+            if pred(f64::from_bits(nd.key_bits)) {
+                best = Some(nd.key_bits);
+                node = nd.right;
+            } else {
+                node = nd.left;
+            }
+        }
+        best
     }
 
     fn child_aggregates(&self, node: u32) -> (u64, f64) {
@@ -466,6 +520,50 @@ mod tests {
             let sum: f64 = remaining.iter().sum();
             assert!((caps.sum() - sum).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn prefix_matches_linear_scan() {
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for case in 0..100 {
+            let mut caps = CapMultiset::new();
+            let mut mirror = Vec::new();
+            for _ in 0..(next() * 50.0) as usize {
+                let cap = (next() * 12.0).floor() * 25.0;
+                caps.insert(cap);
+                mirror.push(cap);
+            }
+            for _ in 0..8 {
+                let probe = next() * 400.0;
+                let (count, sum) = caps.prefix(probe.to_bits());
+                let expect_count = mirror.iter().filter(|&&c| c <= probe).count() as u64;
+                let expect_sum: f64 = mirror.iter().filter(|&&c| c <= probe).sum();
+                assert_eq!(count, expect_count, "case {case}");
+                assert!((sum - expect_sum).abs() < 1e-6, "case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_max_finds_the_monotone_threshold() {
+        let mut caps = CapMultiset::new();
+        for c in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            caps.insert(c);
+        }
+        assert_eq!(
+            caps.partition_max(|c| c <= 35.0),
+            Some(30.0f64.to_bits()),
+            "largest stored cap at or below the threshold"
+        );
+        assert_eq!(caps.partition_max(|c| c <= 5.0), None);
+        assert_eq!(caps.partition_max(|_| true), Some(50.0f64.to_bits()));
+        assert_eq!(CapMultiset::new().partition_max(|_| true), None);
     }
 
     #[test]

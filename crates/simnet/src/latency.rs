@@ -24,6 +24,12 @@ use crate::Bandwidth;
 pub struct ClientNetProfile {
     /// Index of the client in the population (stable across runs).
     pub index: usize,
+    /// Vantage group the client belongs to: clients of one group sit
+    /// behind the same shared transit bottleneck and share a geographic
+    /// neighbourhood (PlanetLab sites on one campus uplink).  Assigned
+    /// round-robin (`index % vantage_groups`), matching
+    /// `TopologySpec::group_of`.
+    pub group: usize,
     /// Mean round-trip time between this client and the target server.
     pub rtt_target: SimDuration,
     /// Mean round-trip time between the coordinator and this client.
@@ -75,6 +81,14 @@ pub struct PopulationProfile {
     pub uplink_fraction: f64,
     /// Per-message jitter as a fraction of one-way delay.
     pub jitter_frac: f64,
+    /// Number of vantage groups the clients cluster into (1 = the
+    /// ungrouped population every pre-topology experiment uses).
+    pub vantage_groups: usize,
+    /// Multiplicative RTT skew across groups: group `g`'s RTTs are scaled
+    /// by `1 + spread·(g − (G−1)/2)/G`, modelling geographic clustering
+    /// (one group near the target, another far).  Zero keeps all groups
+    /// statistically identical.
+    pub group_rtt_spread: f64,
 }
 
 impl Default for PopulationProfile {
@@ -89,6 +103,8 @@ impl Default for PopulationProfile {
             downlink_sigma: 0.8,
             uplink_fraction: 0.5,
             jitter_frac: 0.04,
+            vantage_groups: 1,
+            group_rtt_spread: 0.0,
         }
     }
 }
@@ -108,6 +124,8 @@ impl PopulationProfile {
             downlink_sigma: 0.1,
             uplink_fraction: 1.0,
             jitter_frac: 0.05,
+            vantage_groups: 1,
+            group_rtt_spread: 0.0,
         }
     }
 
@@ -115,6 +133,26 @@ impl PopulationProfile {
     /// experiments (the default).
     pub fn planetlab() -> Self {
         PopulationProfile::default()
+    }
+
+    /// The PlanetLab-like population clustered into `groups` vantage
+    /// groups with a mild geographic RTT skew — the shape the simulation
+    /// backend derives for a `TopologySpec` with one transit link per
+    /// group (an explicitly grouped population matching the topology is
+    /// respected as configured instead).
+    pub fn grouped(groups: usize) -> Self {
+        PopulationProfile {
+            vantage_groups: groups.max(1),
+            group_rtt_spread: 0.3,
+            ..PopulationProfile::default()
+        }
+    }
+
+    /// Clusters the population into `groups` vantage groups, keeping every
+    /// other knob.
+    pub fn with_vantage_groups(mut self, groups: usize) -> Self {
+        self.vantage_groups = groups.max(1);
+        self
     }
 }
 
@@ -144,12 +182,19 @@ impl WideAreaModel {
         let mu_rtt = profile.rtt_target_median.as_secs_f64().max(1e-6).ln();
         let mu_coord = profile.rtt_coordinator_median.as_secs_f64().max(1e-6).ln();
         let mu_down = profile.downlink_median.max(1.0).ln();
+        let groups = profile.vantage_groups.max(1);
         for index in 0..count {
-            let rtt_target =
-                SimDuration::from_secs_f64(gen_rng.log_normal(mu_rtt, profile.rtt_sigma).clamp(
+            let group = index % groups;
+            // Geographic clustering: each group's RTTs share a
+            // deterministic multiplicative skew around the median.
+            let centered = (group as f64 - (groups as f64 - 1.0) / 2.0) / groups as f64;
+            let group_factor = (1.0 + profile.group_rtt_spread * centered).max(0.1);
+            let rtt_target = SimDuration::from_secs_f64(
+                (gen_rng.log_normal(mu_rtt, profile.rtt_sigma) * group_factor).clamp(
                     profile.rtt_floor.as_secs_f64(),
                     profile.rtt_ceiling.as_secs_f64(),
-                ));
+                ),
+            );
             let rtt_coordinator =
                 SimDuration::from_secs_f64(gen_rng.log_normal(mu_coord, profile.rtt_sigma).clamp(
                     profile.rtt_floor.as_secs_f64(),
@@ -158,6 +203,7 @@ impl WideAreaModel {
             let downlink = gen_rng.log_normal(mu_down, profile.downlink_sigma);
             clients.push(ClientNetProfile {
                 index,
+                group,
                 rtt_target,
                 rtt_coordinator,
                 downlink,
@@ -292,6 +338,36 @@ mod tests {
         for c in wan.clients() {
             assert!(c.rtt_target <= SimDuration::from_millis(3));
         }
+    }
+
+    #[test]
+    fn vantage_groups_cluster_round_robin_with_rtt_skew() {
+        let profile = PopulationProfile::grouped(4);
+        let wan = WideAreaModel::generate(&profile, 80, &SimRng::seed_from(11));
+        for client in wan.clients() {
+            assert_eq!(client.group, client.index % 4);
+        }
+        // The far group's mean RTT must exceed the near group's: the
+        // deterministic skew separates them beyond sampling noise.
+        let mean_rtt = |group: usize| {
+            let rtts: Vec<f64> = wan
+                .clients()
+                .iter()
+                .filter(|c| c.group == group)
+                .map(|c| c.rtt_target.as_millis_f64())
+                .collect();
+            rtts.iter().sum::<f64>() / rtts.len() as f64
+        };
+        assert!(
+            mean_rtt(3) > mean_rtt(0),
+            "group RTT skew missing: {} vs {}",
+            mean_rtt(0),
+            mean_rtt(3)
+        );
+        // Ungrouped populations stay in the single implicit group.
+        let flat =
+            WideAreaModel::generate(&PopulationProfile::planetlab(), 10, &SimRng::seed_from(1));
+        assert!(flat.clients().iter().all(|c| c.group == 0));
     }
 
     #[test]

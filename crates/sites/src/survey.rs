@@ -15,6 +15,7 @@ use mfc_core::runner::TrialRunner;
 use mfc_core::types::{Stage, StageOutcome};
 use mfc_dynamics::DefenseConfig;
 use mfc_simcore::SimRng;
+use mfc_topology::TopologySpec;
 use serde::{Deserialize, Serialize};
 
 use crate::population::SiteClass;
@@ -90,6 +91,9 @@ pub struct SurveyConfig {
     /// Reactive defenses every surveyed site runs (static by default —
     /// the paper's assumption).  Each site gets its own defense stack.
     pub defenses: DefenseConfig,
+    /// Shared wide-area bottlenecks in front of every surveyed site
+    /// (direct by default — the paper's transparent-network assumption).
+    pub topology: TopologySpec,
     /// Seed controlling both site generation and MFC randomness.
     pub seed: u64,
 }
@@ -108,6 +112,7 @@ impl SurveyConfig {
                 .with_max_crowd(50)
                 .with_increment(5),
             defenses: DefenseConfig::none(),
+            topology: TopologySpec::direct(),
             seed: 0x5ec5 + class.paper_sample_size() as u64,
         }
     }
@@ -117,6 +122,14 @@ impl SurveyConfig {
     /// fights back?" axis.
     pub fn with_defenses(mut self, defenses: DefenseConfig) -> SurveyConfig {
         self.defenses = defenses;
+        self
+    }
+
+    /// Places the given shared-bottleneck WAN topology in front of every
+    /// surveyed site — the "what does the survey look like when the
+    /// network is not transparent?" axis.
+    pub fn with_topology(mut self, topology: TopologySpec) -> SurveyConfig {
+        self.topology = topology;
         self
     }
 
@@ -224,7 +237,9 @@ pub fn run_survey_with(
         .collect();
 
     let raw_outcomes = runner.run(specs, |site_index, spec| {
-        let spec = spec.with_defenses(config.defenses.clone());
+        let spec = spec
+            .with_defenses(config.defenses.clone())
+            .with_topology(config.topology.clone());
         let mut backend = SimBackend::new(spec, config.clients, config.seed ^ site_index as u64);
         let coordinator = Coordinator::new(config.mfc.clone())
             .with_seed(config.seed.wrapping_add(site_index as u64));

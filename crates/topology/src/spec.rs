@@ -1,0 +1,322 @@
+//! Serializable descriptions of shared-bottleneck WAN scenarios.
+//!
+//! A [`TopologySpec`] says where the wide-area bottlenecks sit between the
+//! MFC's vantage groups and the target: one shared transit/ISP link per
+//! vantage group (clients of a group are "clustered behind" it, like
+//! PlanetLab sites sharing a campus uplink), an optional shared backbone
+//! link in front of the target's access link, and optional persistent
+//! cross-traffic flows competing on each transit link.  The degenerate
+//! spec — no transit links — reproduces the pre-topology model where the
+//! target's access link is the only shared resource, so every existing
+//! scenario keeps its behaviour.
+//!
+//! The spec is pure data; [`TopologySpec::build`] instantiates it as a
+//! [`NetworkGraph`] rooted at the target's access link.
+
+use mfc_simnet::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{LinkId, NetworkGraph, RouteId};
+
+/// One vantage group's shared transit link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitSpec {
+    /// Capacity of the shared transit link in bytes/s.
+    pub capacity: Bandwidth,
+    /// Number of persistent non-target ("cross traffic") flows sharing the
+    /// transit link; they enter and leave the WAN without touching the
+    /// target's access link.
+    pub cross_flows: u32,
+    /// Private rate cap of each cross-traffic flow in bytes/s.
+    pub cross_rate: Bandwidth,
+}
+
+impl TransitSpec {
+    /// A transit link with no cross traffic.
+    pub fn clean(capacity: Bandwidth) -> Self {
+        TransitSpec {
+            capacity,
+            cross_flows: 0,
+            cross_rate: 0.0,
+        }
+    }
+}
+
+/// Where the shared wide-area bottlenecks sit in front of a target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// One shared transit link per vantage group.  Empty means the classic
+    /// single-bottleneck model (every client reaches the target's access
+    /// link directly).
+    pub transits: Vec<TransitSpec>,
+    /// Optional shared backbone link every group traverses between its
+    /// transit link and the target's access link, in bytes/s.
+    pub backbone: Option<Bandwidth>,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec::direct()
+    }
+}
+
+impl TopologySpec {
+    /// The degenerate topology: no shared links besides the target's own
+    /// access link.
+    pub fn direct() -> Self {
+        TopologySpec {
+            transits: Vec::new(),
+            backbone: None,
+        }
+    }
+
+    /// A star of clean transit links, one per vantage group.
+    pub fn star(capacities: &[Bandwidth]) -> Self {
+        TopologySpec {
+            transits: capacities.iter().map(|&c| TransitSpec::clean(c)).collect(),
+            backbone: None,
+        }
+    }
+
+    /// Adds a shared backbone link between the transits and the target.
+    pub fn with_backbone(mut self, capacity: Bandwidth) -> Self {
+        self.backbone = Some(capacity);
+        self
+    }
+
+    /// Puts `flows` persistent cross-traffic flows of `rate` bytes/s each
+    /// on the given group's transit link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` has no transit link.
+    pub fn with_cross_traffic(mut self, group: usize, flows: u32, rate: Bandwidth) -> Self {
+        let transit = self
+            .transits
+            .get_mut(group)
+            .expect("cross traffic on a group without a transit link");
+        transit.cross_flows = flows;
+        transit.cross_rate = rate;
+        self
+    }
+
+    /// True when no shared link besides the access link is modelled.
+    pub fn is_direct(&self) -> bool {
+        self.transits.is_empty() && self.backbone.is_none()
+    }
+
+    /// Number of vantage groups (at least 1; the direct topology has one
+    /// implicit group).
+    pub fn group_count(&self) -> usize {
+        self.transits.len().max(1)
+    }
+
+    /// The vantage group a client address belongs to: round-robin over the
+    /// groups, matching how `WideAreaModel` clusters its population.
+    pub fn group_of(&self, addr: u32) -> usize {
+        addr as usize % self.group_count()
+    }
+
+    /// An aggregate-preserving per-replica instantiation: when a target is
+    /// a load-balanced cluster of `replicas` identical servers, each
+    /// replica's engine instantiates its own copy of the WAN graph, so the
+    /// shared transit/backbone capacities (and cross-traffic rates) are
+    /// divided by the replica count — with an even request spread the
+    /// aggregate contention then matches the spec'd shared links.
+    pub fn share_across(&self, replicas: usize) -> TopologySpec {
+        let replicas = replicas.max(1);
+        if replicas == 1 {
+            return self.clone();
+        }
+        let factor = 1.0 / replicas as f64;
+        TopologySpec {
+            transits: self
+                .transits
+                .iter()
+                .map(|t| TransitSpec {
+                    capacity: t.capacity * factor,
+                    cross_flows: t.cross_flows,
+                    cross_rate: t.cross_rate * factor,
+                })
+                .collect(),
+            backbone: self.backbone.map(|c| c * factor),
+        }
+    }
+
+    /// Validates capacities.
+    pub fn validate(&self) -> Result<(), String> {
+        for (index, transit) in self.transits.iter().enumerate() {
+            if !(transit.capacity > 0.0 && transit.capacity.is_finite()) {
+                return Err(format!("transit {index} capacity must be positive"));
+            }
+            if transit.cross_flows > 0
+                && !(transit.cross_rate > 0.0 && transit.cross_rate.is_finite())
+            {
+                return Err(format!(
+                    "transit {index} cross traffic needs a positive finite rate"
+                ));
+            }
+        }
+        if let Some(backbone) = self.backbone {
+            if !(backbone > 0.0 && backbone.is_finite()) {
+                return Err("backbone capacity must be positive".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates the spec as a [`NetworkGraph`] rooted at an access link
+    /// of `access_capacity` bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`TopologySpec::validate`] or the access
+    /// capacity is not positive.
+    pub fn build(&self, access_capacity: Bandwidth) -> BuiltTopology {
+        self.validate().expect("invalid topology spec");
+        let mut graph = NetworkGraph::new();
+        let access = graph.add_link(access_capacity.max(1.0));
+        let backbone = self.backbone.map(|c| graph.add_link(c));
+        let mut group_routes = Vec::with_capacity(self.group_count());
+        let mut cross = Vec::new();
+        let mut direct_path = Vec::new();
+        if let Some(b) = backbone {
+            direct_path.push(b);
+        }
+        direct_path.push(access);
+        if self.transits.is_empty() {
+            group_routes.push(graph.add_route(&direct_path));
+        } else {
+            for transit in &self.transits {
+                let link = graph.add_link(transit.capacity);
+                let mut path = vec![link];
+                path.extend_from_slice(&direct_path);
+                group_routes.push(graph.add_route(&path));
+                if transit.cross_flows > 0 {
+                    let cross_route = graph.add_route(&[link]);
+                    cross.push((cross_route, transit.cross_flows, transit.cross_rate));
+                }
+            }
+        }
+        // Background (non-probe) traffic comes from unrelated clients all
+        // over the Internet, not from behind the vantage groups' transit
+        // links: it crosses the aggregation backbone (if any) and the
+        // access link only.  For the direct topology this is the (only)
+        // group route, which keeps the degenerate graph at exactly one
+        // route — the shape the single-link fast path recognizes.
+        let background_route = if self.transits.is_empty() {
+            group_routes[0]
+        } else {
+            graph.add_route(&direct_path)
+        };
+        BuiltTopology {
+            graph,
+            access,
+            group_routes,
+            background_route,
+            cross,
+        }
+    }
+}
+
+/// A [`TopologySpec`] instantiated as a graph.
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// The graph itself.
+    pub graph: NetworkGraph,
+    /// The target's access link (the root every probe response crosses).
+    pub access: LinkId,
+    /// Route for each vantage group, indexed by group.
+    pub group_routes: Vec<RouteId>,
+    /// Route for background (non-probe) traffic: backbone + access only,
+    /// bypassing every vantage group's transit link.
+    pub background_route: RouteId,
+    /// Cross-traffic injections: `(route, flow count, per-flow rate)`.
+    pub cross: Vec<(RouteId, u32, Bandwidth)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfc_simnet::mbps;
+
+    #[test]
+    fn direct_spec_builds_a_single_link_graph() {
+        let built = TopologySpec::direct().build(mbps(10.0));
+        assert_eq!(built.graph.link_count(), 1);
+        assert_eq!(built.group_routes.len(), 1);
+        assert!(built.cross.is_empty());
+        assert!(TopologySpec::direct().is_direct());
+        assert_eq!(TopologySpec::direct().group_count(), 1);
+    }
+
+    #[test]
+    fn star_spec_builds_one_transit_per_group() {
+        let spec = TopologySpec::star(&[mbps(4.0), mbps(40.0), mbps(40.0)]);
+        assert_eq!(spec.group_count(), 3);
+        assert_eq!(spec.group_of(0), 0);
+        assert_eq!(spec.group_of(4), 1);
+        let built = spec.build(mbps(100.0));
+        assert_eq!(built.graph.link_count(), 4);
+        assert_eq!(built.group_routes.len(), 3);
+    }
+
+    #[test]
+    fn backbone_and_cross_traffic_are_wired() {
+        let spec = TopologySpec::star(&[mbps(8.0), mbps(8.0)])
+            .with_backbone(mbps(20.0))
+            .with_cross_traffic(1, 3, 50_000.0);
+        let built = spec.build(mbps(100.0));
+        // access + backbone + 2 transits.
+        assert_eq!(built.graph.link_count(), 4);
+        assert_eq!(built.cross.len(), 1);
+        assert_eq!(built.cross[0].1, 3);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut spec = TopologySpec::star(&[mbps(8.0)]);
+        spec.transits[0].capacity = 0.0;
+        assert!(spec.validate().is_err());
+        let spec = TopologySpec::direct().with_backbone(-1.0);
+        assert!(spec.validate().is_err());
+        let mut spec = TopologySpec::star(&[mbps(8.0)]);
+        spec.transits[0].cross_flows = 2;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn background_route_bypasses_the_transits() {
+        let built = TopologySpec::star(&[mbps(4.0), mbps(40.0)]).build(mbps(100.0));
+        assert_ne!(built.background_route, built.group_routes[0]);
+        assert_ne!(built.background_route, built.group_routes[1]);
+        // Direct topology: same single route, so the graph stays degenerate.
+        let direct = TopologySpec::direct().build(mbps(100.0));
+        assert_eq!(direct.background_route, direct.group_routes[0]);
+        assert_eq!(direct.graph.route_count(), 1);
+    }
+
+    #[test]
+    fn share_across_preserves_aggregate_capacity() {
+        let spec = TopologySpec::star(&[mbps(8.0), mbps(80.0)])
+            .with_backbone(mbps(40.0))
+            .with_cross_traffic(0, 3, 60_000.0);
+        let per_replica = spec.share_across(4);
+        assert!((per_replica.transits[0].capacity - mbps(2.0)).abs() < 1e-9);
+        assert!((per_replica.transits[1].capacity - mbps(20.0)).abs() < 1e-9);
+        assert!((per_replica.backbone.unwrap() - mbps(10.0)).abs() < 1e-9);
+        // Cross flows keep their count; the per-flow rate divides.
+        assert_eq!(per_replica.transits[0].cross_flows, 3);
+        assert!((per_replica.transits[0].cross_rate - 15_000.0).abs() < 1e-9);
+        assert_eq!(spec.share_across(1), spec);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = TopologySpec::star(&[mbps(4.0), mbps(40.0)]).with_backbone(mbps(30.0));
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back: TopologySpec = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(spec, back);
+    }
+}

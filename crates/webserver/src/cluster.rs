@@ -85,6 +85,18 @@ impl ServerCluster {
         self
     }
 
+    /// Places a shared-bottleneck WAN topology in front of every serving
+    /// replica; see [`ServerEngine::with_topology`].  Transit links are
+    /// instantiated per serving replica, so for a fixed-size cluster the
+    /// caller should pass an aggregate-preserving per-replica share
+    /// (`TopologySpec::share_across(replicas)`, as `SimBackend` does); a
+    /// replica count that changes mid-run would silently multiply the
+    /// shared capacity and is rejected upstream.
+    pub fn with_topology(mut self, topology: mfc_topology::TopologySpec) -> Self {
+        self.engine.set_topology(topology);
+        self
+    }
+
     /// Number of replicas the cluster was configured with.  The plain
     /// [`ServerCluster::run`] always spreads over all of them.
     pub fn replicas(&self) -> usize {

@@ -25,7 +25,8 @@
 use std::collections::VecDeque;
 
 use mfc_simcore::{EventHandle, EventQueue, SimDuration, SimTime, TimeWeighted};
-use mfc_simnet::{Bandwidth, FlowId, FluidLink};
+use mfc_simnet::{Bandwidth, FlowId};
+use mfc_topology::{BuiltTopology, TopologySpec};
 
 use crate::cache::CacheState;
 use crate::config::{DynamicHandler, ServerConfig};
@@ -74,13 +75,34 @@ pub struct RunResult {
 pub struct ServerEngine {
     config: ServerConfig,
     catalog: ContentCatalog,
+    topology: TopologySpec,
 }
 
 impl ServerEngine {
     /// Creates an engine for a server with the given configuration and
-    /// hosted content.
+    /// hosted content, reached directly over its access link (no shared
+    /// wide-area bottlenecks).
     pub fn new(config: ServerConfig, catalog: ContentCatalog) -> Self {
-        ServerEngine { config, catalog }
+        ServerEngine {
+            config,
+            catalog,
+            topology: TopologySpec::direct(),
+        }
+    }
+
+    /// Places the given shared-bottleneck WAN topology between the clients
+    /// and this server's access link: response transfers are routed over
+    /// each client's vantage-group transit link (plus optional backbone and
+    /// cross traffic) and the access link, all sharing max–min fairly.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.set_topology(topology);
+        self
+    }
+
+    /// In-place form of [`ServerEngine::with_topology`].
+    pub fn set_topology(&mut self, topology: TopologySpec) {
+        topology.validate().expect("invalid topology spec");
+        self.topology = topology;
     }
 
     /// The server configuration.
@@ -91,6 +113,11 @@ impl ServerEngine {
     /// The hosted content.
     pub fn catalog(&self) -> &ContentCatalog {
         &self.catalog
+    }
+
+    /// The WAN topology in front of the server.
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topology
     }
 
     /// Processes a batch of requests to completion.
@@ -139,7 +166,7 @@ impl ServerEngine {
     /// the cache state for its duration; [`EngineSession::finish`] hands it
     /// back warmed.
     pub fn session(&self, cache: CacheState) -> EngineSession<'_> {
-        EngineSession::new(&self.config, &self.catalog, cache)
+        EngineSession::new(&self.config, &self.catalog, &self.topology, cache)
     }
 }
 
@@ -240,7 +267,11 @@ pub struct EngineSession<'a> {
     cpu: PsResource,
     disk: FifoResource,
     memory: MemoryTracker,
-    net: FluidLink,
+    /// The WAN graph responses cross: the access link at the root, plus
+    /// any shared transit/backbone links (and persistent cross traffic)
+    /// from the engine's topology.
+    net: BuiltTopology,
+    topology: &'a TopologySpec,
     cpu_event: Option<EventHandle>,
     net_event: Option<EventHandle>,
     now: SimTime,
@@ -258,8 +289,18 @@ pub struct EngineSession<'a> {
     settled: u64,
 }
 
+/// Flow ids at or above this value belong to persistent cross-traffic
+/// flows injected from the topology spec; they never complete, so they can
+/// never collide with a request's submission index.
+const CROSS_FLOW_BASE: u64 = 1 << 62;
+
 impl<'a> EngineSession<'a> {
-    fn new(config: &'a ServerConfig, catalog: &'a ContentCatalog, cache: CacheState) -> Self {
+    fn new(
+        config: &'a ServerConfig,
+        catalog: &'a ContentCatalog,
+        topology: &'a TopologySpec,
+        cache: CacheState,
+    ) -> Self {
         let handler_capacity = match config.dynamic_handler {
             DynamicHandler::ForkPerRequest { .. } => u32::MAX,
             DynamicHandler::PersistentPool { pool_size, .. } => pool_size,
@@ -270,6 +311,18 @@ impl<'a> EngineSession<'a> {
             memory.allocate(pool_memory);
         }
         let cpu_capacity = f64::from(config.hardware.cpu_cores) * config.hardware.cpu_speed;
+        let mut net = topology.build(config.access_link);
+        // Persistent cross traffic occupies its transit links from the
+        // start of time; the flows never complete and never surface as
+        // request completions.
+        let mut cross_seq = CROSS_FLOW_BASE;
+        for &(route, count, rate) in &net.cross {
+            for _ in 0..count {
+                net.graph
+                    .start_flow(FlowId(cross_seq), route, f64::INFINITY, rate, SimTime::ZERO);
+                cross_seq += 1;
+            }
+        }
         EngineSession {
             config,
             catalog,
@@ -283,7 +336,8 @@ impl<'a> EngineSession<'a> {
             cpu: PsResource::new(cpu_capacity, config.hardware.cpu_speed.max(f64::EPSILON)),
             disk: FifoResource::new(),
             memory,
-            net: FluidLink::new(config.access_link),
+            net,
+            topology,
             cpu_event: None,
             net_event: None,
             now: SimTime::ZERO,
@@ -390,7 +444,10 @@ impl<'a> EngineSession<'a> {
 
     /// Instantaneous access-link utilization in 0–1.
     pub fn link_utilization(&self) -> f64 {
-        (self.net.utilization_bytes_per_sec() / self.net.capacity()).clamp(0.0, 1.0)
+        let access = self.net.access;
+        (self.net.graph.link_utilization_bytes_per_sec(access)
+            / self.net.graph.link_capacity(access))
+        .clamp(0.0, 1.0)
     }
 
     /// Resident memory in bytes right now.
@@ -410,8 +467,13 @@ impl<'a> EngineSession<'a> {
 
     /// Changes the outbound access-link capacity mid-run.  In-flight
     /// transfers keep their remaining bytes and are re-shared immediately.
+    /// Transit links from the topology are untouched — they are WAN
+    /// infrastructure, not the server's.
     pub fn set_access_link(&mut self, capacity: Bandwidth, now: SimTime) {
-        self.net.set_capacity(capacity.max(1.0), now.max(self.now));
+        let access = self.net.access;
+        self.net
+            .graph
+            .set_link_capacity(access, capacity.max(1.0), now.max(self.now));
         self.reschedule_net();
     }
 
@@ -666,16 +728,33 @@ impl<'a> EngineSession<'a> {
             .req
             .client_downlink
             .min(self.config.tcp.window_limited_rate(rtt));
+        // The response crosses the client's vantage group's route: its
+        // shared transit link(s) plus the access link.  The client's own
+        // downlink and TCP window stay a private per-flow cap.  Background
+        // requests come from unrelated clients all over the Internet, not
+        // from behind the probe groups' transit links, so they take the
+        // backbone + access route only.
+        let route = if self.requests[idx].req.background {
+            self.net.background_route
+        } else {
+            let group = self.topology.group_of(self.requests[idx].req.client_addr);
+            self.net.group_routes[group]
+        };
         self.net
-            .start_flow(FlowId(idx as u64), bytes as f64, cap, self.now);
+            .graph
+            .start_flow(FlowId(idx as u64), route, bytes as f64, cap, self.now);
     }
 
     fn on_net_check(&mut self) {
-        while let Some((time, flow)) = self.net.peek_completion() {
+        while let Some((time, flow)) = self.net.graph.peek_completion() {
             if time > self.now {
                 break;
             }
-            self.net.finish_flow(flow, self.now);
+            self.net.graph.finish_flow(flow, self.now);
+            debug_assert!(
+                flow.0 < CROSS_FLOW_BASE,
+                "a persistent cross-traffic flow can never complete"
+            );
             let idx = flow.0 as usize;
             let inflight = &self.requests[idx];
             let completion = self.now + inflight.slow_start + inflight.req.client_rtt.mul_f64(0.5);
@@ -761,7 +840,7 @@ impl<'a> EngineSession<'a> {
         if let Some(handle) = self.net_event.take() {
             self.queue.cancel(handle);
         }
-        if let Some((time, _)) = self.net.peek_completion() {
+        if let Some((time, _)) = self.net.graph.peek_completion() {
             let time = time.max(self.now);
             self.net_event = Some(self.queue.schedule(time, Event::NetCheck));
         }
@@ -781,7 +860,7 @@ impl<'a> EngineSession<'a> {
             cpu_utilization,
             peak_memory_bytes: self.memory.peak(),
             mean_memory_bytes: self.memory_series.average_until(self.end),
-            network_bytes_sent: self.net.bytes_transferred() as u64,
+            network_bytes_sent: self.net.graph.link_bytes_transferred(self.net.access) as u64,
             disk_operations: self.disk.operations(),
             mean_busy_workers: self.busy_workers.average_until(self.end),
             peak_busy_workers: self.workers.peak_busy(),
@@ -789,7 +868,7 @@ impl<'a> EngineSession<'a> {
             completed_requests: self.completed,
             shed_requests: 0,
             throttled_requests: 0,
-            link_capacity: self.net.capacity(),
+            link_capacity: self.net.graph.link_capacity(self.net.access),
         };
         let mut outcomes = Vec::with_capacity(self.requests.len());
         for inflight in &mut self.requests {
@@ -1110,6 +1189,86 @@ mod tests {
         let result = engine.run(vec![req], &mut cache);
         assert!(result.outcomes[0].background);
         assert!(result.arrival_log[0].background);
+    }
+
+    #[test]
+    fn thin_transit_link_slows_only_its_vantage_group() {
+        use mfc_simnet::kbps;
+        // A fat 100 Mbit/s access link, two vantage groups: group 0 behind
+        // a 800 kbit/s shared transit link, group 1 behind a clean one.
+        let config = ServerConfig {
+            access_link: mbps(100.0),
+            ..ServerConfig::lab_apache()
+        };
+        let topology = TopologySpec::star(&[kbps(800.0), mbps(100.0)]);
+        let engine =
+            ServerEngine::new(config, ContentCatalog::lab_validation()).with_topology(topology);
+        let mut cache = CacheState::new();
+        // Warm the object cache, then race five transfers per group.
+        engine.run(
+            vec![static_request(0, 0, "/objects/large_100k.bin")],
+            &mut cache,
+        );
+        let crowd: Vec<ServerRequest> = (0..10)
+            .map(|i| {
+                let mut r = static_request(100 + i, 0, "/objects/large_100k.bin");
+                r.client_addr = i as u32; // even → group 0, odd → group 1
+                r
+            })
+            .collect();
+        let result = engine.run(crowd, &mut cache);
+        let latency_of = |addr_parity: u32| -> f64 {
+            let mut values: Vec<f64> = result
+                .outcomes
+                .iter()
+                .filter(|o| o.id >= 100 && (o.id - 100) % 2 == addr_parity as u64)
+                .map(|o| o.latency().as_millis_f64())
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values[values.len() / 2]
+        };
+        let pinned = latency_of(0);
+        let clean = latency_of(1);
+        assert!(
+            pinned > 5.0 * clean,
+            "the group behind the 100 kB/s transit must crawl while the \
+             other group flies: pinned {pinned}ms vs clean {clean}ms"
+        );
+    }
+
+    #[test]
+    fn cross_traffic_consumes_transit_bandwidth() {
+        // A 1 MB/s transit carrying 600 kB/s of cross traffic leaves only
+        // 400 kB/s for the probe transfers.
+        let config = ServerConfig {
+            access_link: mbps(100.0),
+            ..ServerConfig::lab_apache()
+        };
+        let clean = ServerEngine::new(config.clone(), ContentCatalog::lab_validation())
+            .with_topology(TopologySpec::star(&[mbps(8.0)]));
+        let congested = ServerEngine::new(config, ContentCatalog::lab_validation())
+            .with_topology(TopologySpec::star(&[mbps(8.0)]).with_cross_traffic(0, 3, 200_000.0));
+        let run = |engine: &ServerEngine| {
+            let mut cache = CacheState::new();
+            engine.run(
+                vec![static_request(0, 0, "/objects/large_100k.bin")],
+                &mut cache,
+            );
+            let result = engine.run(
+                vec![static_request(1, 0, "/objects/large_100k.bin")],
+                &mut cache,
+            );
+            result.outcomes[0].latency()
+        };
+        let clean_latency = run(&clean);
+        let congested_latency = run(&congested);
+        // 100 KB at 1 MB/s vs at the 400 kB/s the cross traffic leaves:
+        // the transfer alone slows by ~150 ms.
+        assert!(
+            congested_latency > clean_latency + SimDuration::from_millis(100),
+            "cross traffic must visibly squeeze the transfer: \
+             {clean_latency} vs {congested_latency}"
+        );
     }
 
     #[test]

@@ -51,3 +51,5 @@ pub use engine::{EngineSession, ServerEngine};
 pub use request::{ArrivalRecord, RequestClass, RequestOutcome, RequestStatus, ServerRequest};
 pub use synthetic::{ResponseModel, SyntheticServer};
 pub use telemetry::UtilizationReport;
+
+pub use mfc_topology::{TopologySpec, TransitSpec};

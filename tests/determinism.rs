@@ -76,6 +76,51 @@ fn repeated_dynamics_runs_are_stable() {
 }
 
 #[test]
+fn topology_survey_is_byte_identical_across_thread_counts() {
+    // The shared-bottleneck WAN graph sits under every trial of a
+    // topology-enabled survey: per-group transit links, a backbone, cross
+    // traffic, plus the vantage-aware inference on top.  The guarantee is
+    // unchanged — thread count must be unobservable bit for bit.
+    let topology = mfc_topology::TopologySpec::star(&[
+        mfc_simnet::mbps(2.0),
+        mfc_simnet::mbps(1000.0),
+        mfc_simnet::mbps(1000.0),
+        mfc_simnet::mbps(1000.0),
+    ])
+    .with_backbone(mfc_simnet::mbps(800.0))
+    .with_cross_traffic(0, 2, 50_000.0);
+    let config =
+        SurveyConfig::quick(SiteClass::Rank1KTo10K, Stage::LargeObject, 8).with_topology(topology);
+    let serial = survey_json(SiteClass::Rank1KTo10K, &config, &TrialRunner::serial());
+    for threads in [2, 8] {
+        let parallel = survey_json(
+            SiteClass::Rank1KTo10K,
+            &config,
+            &TrialRunner::with_threads(threads),
+        );
+        assert_eq!(
+            serial, parallel,
+            "topology survey output changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_topology_runs_are_stable() {
+    let topology = mfc_topology::TopologySpec::star(&[
+        mfc_simnet::mbps(1.6),
+        mfc_simnet::mbps(1000.0),
+        mfc_simnet::mbps(1000.0),
+    ]);
+    let config =
+        SurveyConfig::quick(SiteClass::Startup, Stage::LargeObject, 6).with_topology(topology);
+    let runner = TrialRunner::with_threads(6);
+    let first = survey_json(SiteClass::Startup, &config, &runner);
+    let second = survey_json(SiteClass::Startup, &config, &runner);
+    assert_eq!(first, second);
+}
+
+#[test]
 fn runner_defaults_respect_the_env_contract() {
     // `from_env` must produce at least one worker no matter what; the
     // explicit constructors pin the count exactly.

@@ -14,7 +14,8 @@ use mfc_core::types::ClientId;
 use mfc_http::{Method, Request, Response, StatusCode, Url};
 use mfc_simcore::stats::{median, percentile};
 use mfc_simcore::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
-use mfc_simnet::{FlowId, FluidLink, NaiveFluidLink, TcpModel};
+use mfc_simnet::{FlowId, FluidLink, NaiveFluidLink, PopulationProfile, TcpModel, WideAreaModel};
+use mfc_topology::{LinkId, NaiveNetwork, NetworkGraph, RouteId};
 use mfc_webserver::{
     CacheState, ContentCatalog, RequestClass, ServerConfig, ServerEngine, ServerRequest,
 };
@@ -526,6 +527,351 @@ fn fluid_link_ten_thousand_flows_are_deterministic_and_fast() {
 }
 
 // -------------------------------------------------------------------
+// Multi-hop network graph: the incremental water-filling core must match
+// the textbook progressive-filling specification on arbitrary topologies.
+// -------------------------------------------------------------------
+
+/// The naive network's own prediction of when `id` would finish; see
+/// [`naive_predicted_completion`].
+fn naive_net_predicted_completion(
+    naive: &NaiveNetwork,
+    id: FlowId,
+    now: SimTime,
+) -> Option<SimTime> {
+    let remaining = naive.remaining_bytes(id)?;
+    if remaining <= 0.0 {
+        return Some(now);
+    }
+    let rate = naive.current_rate(id)?;
+    if rate <= 0.0 {
+        return None;
+    }
+    let micros = (remaining / rate * 1_000_000.0).ceil().max(0.0) as u64;
+    Some(now + SimDuration::from_micros(micros))
+}
+
+/// Compares every active flow's rate and remaining bytes between the graph
+/// and the reference, with the same completion-boundary exemption as the
+/// single-link test.
+fn assert_net_flows_match(fast: &NetworkGraph, naive: &NaiveNetwork, active: &[u64], ctx: &str) {
+    for &id in active {
+        let flow = FlowId(id);
+        let naive_left = naive.remaining_bytes(flow).expect("active in naive");
+        let fast_left = fast.remaining_bytes(flow).expect("active in fast");
+        assert!(
+            (naive_left - fast_left).abs() <= 1e-6 * naive_left.max(fast_left) + 1.0,
+            "remaining bytes diverged for flow {id}: {naive_left} vs {fast_left} ({ctx})"
+        );
+        if naive_left < 1.0 || fast_left < 1.0 {
+            continue;
+        }
+        let naive_rate = naive.current_rate(flow).expect("active in naive");
+        let fast_rate = fast.current_rate(flow).expect("active in fast");
+        assert_close(naive_rate, fast_rate, &format!("rate of flow {id}"), ctx);
+    }
+}
+
+#[test]
+fn network_graph_matches_naive_progressive_filling_on_random_topologies() {
+    let mut rng = SimRng::seed_from(0x0701);
+    for case in 0..32 {
+        // A random topology: 2–5 links, 2–5 routes over random non-empty
+        // link subsets (stars, chains, diamonds, shared backbones — the
+        // allocator must not care).
+        let link_count = rng.index(4) + 2;
+        let capacities: Vec<f64> = (0..link_count).map(|_| rng.uniform(2e5, 5e6)).collect();
+        let mut fast = NetworkGraph::new();
+        let mut naive = NaiveNetwork::new();
+        let links: Vec<LinkId> = capacities.iter().map(|&c| fast.add_link(c)).collect();
+        for &c in &capacities {
+            naive.add_link(c);
+        }
+        let route_count = rng.index(4) + 2;
+        let mut routes: Vec<(RouteId, Vec<LinkId>)> = Vec::new();
+        for _ in 0..route_count {
+            let mut members: Vec<LinkId> =
+                links.iter().copied().filter(|_| rng.chance(0.5)).collect();
+            if members.is_empty() {
+                members.push(links[rng.index(links.len())]);
+            }
+            let id = fast.add_route(&members);
+            routes.push((id, members));
+        }
+
+        let mut active: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        let mut now = SimTime::ZERO;
+        let ops = rng.index(80) + 40;
+        for op in 0..ops {
+            let ctx = format!("case {case} op {op}");
+            match rng.index(10) {
+                // Arrival on a random route.
+                0..=3 => {
+                    let bytes = if rng.chance(0.05) {
+                        0.0
+                    } else {
+                        rng.uniform(1_000.0, 5e6)
+                    };
+                    let cap = random_cap(&mut rng);
+                    let (route, members) = &routes[rng.index(routes.len())];
+                    let id = next_id;
+                    next_id += 1;
+                    fast.start_flow(FlowId(id), *route, bytes, cap, now);
+                    naive.start_flow(FlowId(id), members, bytes, cap, now);
+                    active.push(id);
+                }
+                // Timeout-style removal.
+                4 => {
+                    if !active.is_empty() {
+                        let id = active.swap_remove(rng.index(active.len()));
+                        let a = naive.finish_flow(FlowId(id), now).expect("active");
+                        let b = fast.finish_flow(FlowId(id), now).expect("active");
+                        assert!(
+                            (a - b).abs() <= 1e-6 * a.max(b) + 1.0,
+                            "returned remaining diverged: {a} vs {b} ({ctx})"
+                        );
+                    }
+                }
+                // Cap change.
+                5 => {
+                    if !active.is_empty() {
+                        let id = active[rng.index(active.len())];
+                        let cap = random_cap(&mut rng);
+                        fast.set_rate_cap(FlowId(id), cap, now);
+                        naive.set_rate_cap(FlowId(id), cap, now);
+                    }
+                }
+                // Mid-run link capacity change.
+                6 => {
+                    let link = links[rng.index(links.len())];
+                    let capacity = rng.uniform(2e5, 5e6);
+                    fast.set_link_capacity(link, capacity, now);
+                    naive.set_link_capacity(link, capacity, now);
+                }
+                // Run to the next completion and retire that flow.
+                7..=8 => {
+                    let naive_next = naive.next_completion(now);
+                    let fast_next = fast.next_completion(now);
+                    match (naive_next, fast_next) {
+                        (None, None) => {}
+                        (Some((tn, idn)), Some((tf, idf))) => {
+                            assert!(
+                                times_close(tn, tf),
+                                "completion times diverged: {tn:?} vs {tf:?} ({ctx})"
+                            );
+                            if idn != idf {
+                                let predicted = naive_net_predicted_completion(&naive, idf, now)
+                                    .unwrap_or_else(|| panic!("{idf:?} stalled in naive ({ctx})"));
+                                assert!(
+                                    times_close(tn, predicted),
+                                    "different ids without a genuine tie: naive picked {idn:?} \
+                                     at {tn:?} but expects {idf:?} at {predicted:?} ({ctx})"
+                                );
+                            }
+                            now = now.max(tn).max(tf);
+                            let a = naive.finish_flow(idn, now).expect("active");
+                            let b = fast.finish_flow(idn, now).expect("active");
+                            assert!(
+                                a.abs() < 1.0 && b.abs() < 1.0,
+                                "completed flow had bytes left: {a} vs {b} ({ctx})"
+                            );
+                            active.retain(|&x| x != idn.0);
+                        }
+                        (a, b) => panic!("one model has a completion: {a:?} vs {b:?} ({ctx})"),
+                    }
+                }
+                // Advance part-way towards the next completion.
+                _ => {
+                    if let Some((t, _)) = naive.next_completion(now) {
+                        let span = (t - now).as_micros();
+                        now += SimDuration::from_micros(rng.uniform_u64(0, span.max(1)));
+                        naive.advance(now);
+                        fast.advance(now);
+                    }
+                }
+            }
+            assert_net_flows_match(&fast, &naive, &active, &ctx);
+            for &link in &links {
+                assert_close(
+                    naive.link_utilization_bytes_per_sec(link),
+                    fast.link_utilization_bytes_per_sec(link),
+                    &format!("utilization of {link:?}"),
+                    &ctx,
+                );
+            }
+        }
+        // Drain everything, checking completion order as we go.
+        let mut guard = 0;
+        while !active.is_empty() {
+            guard += 1;
+            assert!(guard < 10_000, "case {case}: drain did not terminate");
+            let (tn, idn) = naive
+                .next_completion(now)
+                .expect("active flows must complete");
+            let (tf, idf) = fast.next_completion(now).expect("fast agrees");
+            assert!(
+                times_close(tn, tf),
+                "case {case}: drain completion times diverged: {tn:?} vs {tf:?}"
+            );
+            if idn != idf {
+                let predicted = naive_net_predicted_completion(&naive, idf, now)
+                    .unwrap_or_else(|| panic!("case {case}: {idf:?} stalled in naive"));
+                assert!(
+                    times_close(tn, predicted),
+                    "case {case}: order broke a non-tie: naive picked {idn:?} at {tn:?} but \
+                     expects {idf:?} at {predicted:?}"
+                );
+            }
+            now = now.max(tn).max(tf);
+            naive.finish_flow(idn, now);
+            fast.finish_flow(idn, now);
+            active.retain(|&x| x != idn.0);
+        }
+        for &link in &links {
+            assert_close(
+                naive.link_bytes_transferred(link),
+                fast.link_bytes_transferred(link),
+                &format!("bytes through {link:?}"),
+                &format!("case {case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn single_link_network_graph_matches_fluid_link() {
+    // The degenerate graph (one link, one route) must behave exactly like
+    // the single-bottleneck FluidLink every pre-topology scenario uses.
+    let mut rng = SimRng::seed_from(0x0702);
+    for case in 0..CASES {
+        let capacity = rng.uniform(1e5, 1e7);
+        let mut graph = NetworkGraph::new();
+        let link = graph.add_link(capacity);
+        let route = graph.add_route(&[link]);
+        let mut fluid = FluidLink::new(capacity);
+        let mut active: Vec<u64> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for op in 0..60 {
+            let ctx = format!("case {case} op {op}");
+            match rng.index(8) {
+                0..=3 => {
+                    let bytes = rng.uniform(1_000.0, 5e6);
+                    let cap = random_cap(&mut rng);
+                    let id = op as u64 + case as u64 * 1_000;
+                    graph.start_flow(FlowId(id), route, bytes, cap, now);
+                    fluid.start_flow(FlowId(id), bytes, cap, now);
+                    active.push(id);
+                }
+                4 => {
+                    if !active.is_empty() {
+                        let id = active.swap_remove(rng.index(active.len()));
+                        let a = fluid.finish_flow(FlowId(id), now).expect("active");
+                        let b = graph.finish_flow(FlowId(id), now).expect("active");
+                        assert!((a - b).abs() <= 1e-6 * a.max(b) + 1.0, "{ctx}: {a} vs {b}");
+                    }
+                }
+                5 => {
+                    let capacity = rng.uniform(1e5, 1e7);
+                    graph.set_link_capacity(link, capacity, now);
+                    fluid.set_capacity(capacity, now);
+                }
+                _ => {
+                    now += SimDuration::from_micros(rng.uniform_u64(0, 400_000));
+                    graph.advance(now);
+                    fluid.advance(now);
+                }
+            }
+            for &id in &active {
+                let a = fluid.remaining_bytes(FlowId(id)).expect("active");
+                let b = graph.remaining_bytes(FlowId(id)).expect("active");
+                assert!(
+                    (a - b).abs() <= 1e-6 * a.max(b) + 1.0,
+                    "{ctx}: remaining {a} vs {b}"
+                );
+                if a >= 1.0 && b >= 1.0 {
+                    assert_close(
+                        fluid.current_rate(FlowId(id)).expect("active"),
+                        graph.current_rate(FlowId(id)).expect("active"),
+                        &format!("rate of {id}"),
+                        &ctx,
+                    );
+                }
+            }
+            match (fluid.peek_completion(), graph.peek_completion()) {
+                (None, None) => {}
+                (Some((ta, _)), Some((tb, _))) => {
+                    assert!(
+                        times_close(ta, tb),
+                        "{ctx}: peeks diverged {ta:?} vs {tb:?}"
+                    );
+                }
+                (a, b) => panic!("{ctx}: one model peeks a completion: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn network_graph_ten_thousand_flows_are_deterministic() {
+    // The DDoS-scale determinism guarantee extended to the multi-hop
+    // graph: 10k transfers from four vantage groups over a 6-link graph
+    // (4 transits + backbone + access, with cross traffic) must produce a
+    // bit-identical completion sequence on every run — the property that
+    // keeps `MFC_THREADS` unobservable in any artifact built on top.
+    let run = || {
+        let mut rng = SimRng::seed_from(0x0703);
+        let mut net = NetworkGraph::new();
+        let access = net.add_link(1e9);
+        let backbone = net.add_link(6e8);
+        let groups: Vec<RouteId> = (0..4)
+            .map(|g| {
+                let transit = net.add_link(2e7 * (g + 1) as f64);
+                net.add_route(&[transit, backbone, access])
+            })
+            .collect();
+        // Persistent cross traffic on the first group's transit.
+        let cross = net.add_route(&[LinkId(2)]);
+        for k in 0..8u64 {
+            net.start_flow(
+                FlowId(1 << 62 | k),
+                cross,
+                f64::INFINITY,
+                250_000.0,
+                SimTime::ZERO,
+            );
+        }
+        let n = 10_000u64;
+        let mut now = SimTime::ZERO;
+        for id in 0..n {
+            now += SimDuration::from_micros(rng.uniform_u64(0, 200));
+            net.start_flow(
+                FlowId(id),
+                groups[(id % 4) as usize],
+                rng.uniform(10_000.0, 1e6),
+                random_cap(&mut rng),
+                now,
+            );
+        }
+        let mut completions: Vec<(u64, u64)> = Vec::with_capacity(n as usize);
+        while let Some((t, id)) = net.next_completion(now) {
+            now = now.max(t);
+            net.finish_flow(id, now);
+            completions.push((t.as_micros(), id.0));
+        }
+        (completions, net.link_bytes_transferred(access).to_bits())
+    };
+    let (completions_a, bytes_a) = run();
+    let (completions_b, bytes_b) = run();
+    assert_eq!(completions_a.len(), 10_000, "cross traffic never completes");
+    assert_eq!(
+        completions_a, completions_b,
+        "completion sequence must be bit-stable"
+    );
+    assert_eq!(bytes_a, bytes_b, "byte accounting must be bit-stable");
+    assert!(completions_a.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+// -------------------------------------------------------------------
 // TCP model.
 // -------------------------------------------------------------------
 
@@ -580,6 +926,105 @@ fn compensated_commands_arrive_exactly_at_the_lead_when_latencies_hold() {
                 .saturating_sub(lead)
                 .max(lead.saturating_sub(arrival));
             assert!(diff <= SimDuration::from_micros(2), "diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn schedule_lands_the_planetlab_crowd_within_tolerance() {
+    // End-to-end synchronization property: measure each client's RTTs the
+    // way the coordinator does (one jittered sample each), schedule with
+    // the paper's 15 s lead, then simulate the actual jittered delivery.
+    // The planetlab population jitters each leg by ±3σ = ±12%, and the
+    // measurement itself carries the same error, so the worst-case arrival
+    // error is 0.5·RTTc·0.24 + 1.5·RTTt·0.24 ≈ 170 ms at the 350 ms RTT
+    // ceiling.  Every request must land within that tolerance of the
+    // intended instant — the property the whole epoch design rests on.
+    let tolerance = SimDuration::from_millis(200);
+    let lead = SimDuration::from_secs(15);
+    let mut rng = SimRng::seed_from(0x0704);
+    for case in 0..CASES {
+        let mut wan = WideAreaModel::generate(
+            &PopulationProfile::planetlab(),
+            40,
+            &SimRng::seed_from(0x0900 + case as u64),
+        );
+        let crowd = rng.index(35) + 5;
+        let latencies: Vec<ClientLatency> = (0..crowd)
+            .map(|i| ClientLatency {
+                client: ClientId(i as u32),
+                coordinator_rtt: wan.measure_coordinator_rtt(i),
+                target_rtt: wan.measure_target_rtt(i),
+            })
+            .collect();
+        let scheduler = SyncScheduler::simultaneous(lead);
+        for command in scheduler.schedule(&latencies) {
+            let index = command.client.0 as usize;
+            let profile = wan.client(index).clone();
+            // Command transit plus the 1.5·RTT handshake-to-first-byte, each
+            // jittered independently of the measurement samples.
+            let command_delay = wan.coordinator_to_client(index);
+            let handshake =
+                wan.jittered_delay(profile.rtt_target.mul_f64(1.5), profile.jitter_frac);
+            let actual = command.send_offset + command_delay + handshake;
+            let miss = actual
+                .saturating_sub(command.intended_arrival)
+                .max(command.intended_arrival.saturating_sub(actual));
+            assert!(
+                miss <= tolerance,
+                "case {case}: client {index} missed the arrival instant by {miss}"
+            );
+        }
+    }
+}
+
+#[test]
+fn staggered_schedule_preserves_spacing_and_order_under_random_latencies() {
+    // The §6 staggered MFC: whatever the per-client latencies, the ladder
+    // of intended arrivals must ascend in exact `spacing` steps, and when
+    // the network behaves as measured the *actual* arrivals reproduce the
+    // ladder — same order, same spacing (up to microsecond rounding).
+    let mut rng = SimRng::seed_from(0x0705);
+    for case in 0..CASES {
+        let n = rng.index(40) + 2;
+        let spacing = SimDuration::from_millis(rng.uniform_u64(1, 499));
+        let lead = SimDuration::from_secs(15);
+        let latencies: Vec<ClientLatency> = (0..n)
+            .map(|i| ClientLatency {
+                client: ClientId(i as u32),
+                coordinator_rtt: SimDuration::from_millis(rng.uniform_u64(1, 399)),
+                target_rtt: SimDuration::from_millis(rng.uniform_u64(1, 399)),
+            })
+            .collect();
+        let commands = SyncScheduler::staggered(lead, spacing).schedule(&latencies);
+        let arrivals: Vec<SimDuration> = commands
+            .iter()
+            .map(|command| {
+                let latency = latencies
+                    .iter()
+                    .find(|l| l.client == command.client)
+                    .unwrap();
+                assert_eq!(
+                    command.intended_arrival,
+                    lead + spacing * (command.client.0 as u64),
+                    "case {case}: ladder rung misplaced"
+                );
+                command.send_offset
+                    + latency.coordinator_rtt.mul_f64(0.5)
+                    + latency.target_rtt.mul_f64(1.5)
+            })
+            .collect();
+        for (i, pair) in arrivals.windows(2).enumerate() {
+            let gap = pair[1].saturating_sub(pair[0]);
+            let error = gap.max(spacing).saturating_sub(gap.min(spacing));
+            assert!(
+                pair[1] > pair[0],
+                "case {case}: rung {i} arrivals out of order"
+            );
+            assert!(
+                error <= SimDuration::from_micros(2),
+                "case {case}: rung {i} spacing drifted by {error}"
+            );
         }
     }
 }

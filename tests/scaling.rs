@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use mfc_dynamics::DefenseConfig;
 use mfc_simcore::{SimDuration, SimRng, SimTime};
 use mfc_simnet::{FlowId, FluidLink};
+use mfc_topology::{NetworkGraph, RouteId};
 use mfc_webserver::{
     BalancePolicy, CacheState, ContentCatalog, RequestClass, ServerCluster, ServerConfig,
     ServerEngine, ServerRequest, WorkerConfig,
@@ -46,6 +47,59 @@ fn thousand_flow_link_drains_within_wall_clock_budget() {
         elapsed < Duration::from_secs(20),
         "1k-flow drain took {elapsed:?}; the sharing core has regressed to super-logarithmic \
          per-event cost"
+    );
+}
+
+#[test]
+fn ten_k_flows_over_a_multi_hop_graph_drain_within_wall_clock_budget() {
+    // The topology analogue of the 1k-flow FluidLink smoke: 10k transfers
+    // from four vantage groups over a three-hop graph (transit → backbone
+    // → access, six links total) with heterogeneous caps and staggered
+    // arrivals.  Per-event cost must stay near O(L²·log C) — a regression
+    // to per-flow rescans blows this ceiling by orders of magnitude.
+    let started = Instant::now();
+    let mut rng = SimRng::seed_from(0x70F0);
+    let mut net = NetworkGraph::new();
+    let access = net.add_link(2e9);
+    let backbone = net.add_link(1e9);
+    let groups: Vec<RouteId> = (0..4)
+        .map(|g| {
+            let transit = net.add_link(5e7 * (g + 1) as f64);
+            net.add_route(&[transit, backbone, access])
+        })
+        .collect();
+    let n = 10_000u64;
+    let mut now = SimTime::ZERO;
+    for id in 0..n {
+        now += SimDuration::from_micros(rng.uniform_u64(0, 300));
+        let cap = if rng.chance(0.5) {
+            f64::INFINITY
+        } else {
+            rng.uniform(10_000.0, 1e6)
+        };
+        net.start_flow(
+            FlowId(id),
+            groups[(id % 4) as usize],
+            rng.uniform(50_000.0, 2e6),
+            cap,
+            now,
+        );
+    }
+    let mut completed = 0u64;
+    while let Some((t, id)) = net.next_completion(now) {
+        now = now.max(t);
+        net.finish_flow(id, now);
+        completed += 1;
+    }
+    assert_eq!(completed, n);
+    // Every byte of every flow crossed the access link (within sub-byte
+    // fluid rounding per flow).
+    assert!(net.link_bytes_transferred(access) > 0.0);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "10k-flow multi-hop drain took {elapsed:?}; the graph allocator has regressed \
+         to super-logarithmic per-event cost"
     );
 }
 
