@@ -1,0 +1,20 @@
+//! Times the quick-scale background-workload scenario matrix and prints
+//! its table once — the workload analogue of the table benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfc_bench::experiments::workload_matrix;
+use mfc_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let result = workload_matrix::run(Scale::Quick, 104);
+    println!("{}", result.render_text());
+    let mut group = c.benchmark_group("workload_matrix");
+    group.sample_size(10);
+    group.bench_function("quick", |b| {
+        b.iter(|| workload_matrix::run(Scale::Quick, 104));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

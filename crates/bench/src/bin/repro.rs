@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use mfc_bench::experiments::{
     ablation, dynamics_matrix, fig3, fig4, fig5, fig6, rank_figs, special_tables, table1, table2,
-    table3, topology_matrix,
+    table3, topology_matrix, workload_matrix,
 };
 use mfc_bench::Scale;
 use mfc_core::types::Stage;
@@ -34,7 +34,7 @@ const SEED: u64 = 20080622;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "fig7", "fig8", "fig9", "table4",
-    "table5", "ablation", "dynamics", "topology",
+    "table5", "ablation", "dynamics", "topology", "workload",
 ];
 
 fn usage() -> ! {
@@ -112,6 +112,11 @@ fn run_one(name: &str, scale: Scale, json_dir: &Option<PathBuf>) -> std::time::D
         }
         "topology" => {
             let result = topology_matrix::run(scale, SEED);
+            print!("{}", result.render_text());
+            write_json(json_dir, name, &result);
+        }
+        "workload" => {
+            let result = workload_matrix::run(scale, SEED);
             print!("{}", result.render_text());
             write_json(json_dir, name, &result);
         }

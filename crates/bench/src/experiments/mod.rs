@@ -14,6 +14,7 @@
 //! | [`ablation`] | (ours) | value of delay-compensated scheduling and the 90th-percentile detector |
 //! | [`dynamics_matrix`] | (ours) | Table 1–3 site configs vs. reactive defenses (autoscaling, shedding, rate limiting) |
 //! | [`topology_matrix`] | (ours) | the §2.2.3 hazard made concrete: bandwidth bottlenecks moved around a shared WAN graph vs. the vantage-aware localization verdict |
+//! | [`workload_matrix`] | (ours) | realistic background conditions (diurnal sessions, MMPP bursts, organic flash crowds) vs. the noise-robust inference |
 
 pub mod ablation;
 pub mod dynamics_matrix;
@@ -27,3 +28,4 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod topology_matrix;
+pub mod workload_matrix;

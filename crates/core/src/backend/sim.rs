@@ -38,8 +38,14 @@ pub struct SimTargetSpec {
     /// Number of load-balanced replicas behind the single IP address the
     /// MFC probes (1 = a single machine, 16 = the QTP data centre).
     pub replicas: usize,
-    /// Regular user traffic competing with the MFC.
+    /// Regular user traffic competing with the MFC: the degenerate
+    /// flat-Poisson model, used whenever `workload` is `None`.
     pub background: BackgroundTraffic,
+    /// A full workload specification for the background traffic — session
+    /// models, diurnal/MMPP/flash-crowd arrival processes, trace replay.
+    /// When set it *replaces* the flat `background` model (which is just
+    /// its degenerate single-source case).
+    pub workload: Option<mfc_workload::WorkloadSpec>,
     /// Probability that a coordinator→client UDP command is lost.
     pub control_loss: f64,
     /// Wide-area population the MFC clients are drawn from.
@@ -64,6 +70,7 @@ impl SimTargetSpec {
             catalog,
             replicas: 1,
             background: BackgroundTraffic::idle(),
+            workload: None,
             control_loss: 0.01,
             population: PopulationProfile::planetlab(),
             defenses: DefenseConfig::none(),
@@ -82,6 +89,19 @@ impl SimTargetSpec {
     /// Sets the background traffic level.
     pub fn with_background(mut self, background: BackgroundTraffic) -> Self {
         self.background = background;
+        self
+    }
+
+    /// Replaces the flat background model with a full workload spec:
+    /// session-structured, nonstationary, trace-replayed — whatever the
+    /// spec describes streams against the target during every epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn with_workload(mut self, workload: mfc_workload::WorkloadSpec) -> Self {
+        workload.validate().expect("invalid workload spec");
+        self.workload = Some(workload);
         self
     }
 
@@ -417,16 +437,30 @@ impl MfcBackend for SimBackend {
             ));
         }
 
-        // Background traffic competes over the whole epoch window.
+        // Background traffic competes over the whole epoch window.  A full
+        // workload spec (sessions, diurnal/MMPP/flash-crowd arrivals,
+        // traces) streams through the shared merged-heap generator; the
+        // flat `background` model keeps its original draw stream.
         let window_end = last_arrival + plan.timeout;
         let mut bg_rng = self.rng.fork_indexed("background", origin.as_micros());
-        let background = self.spec.background.generate(
-            &self.spec.catalog,
-            origin,
-            window_end,
-            1_000_000_000 + self.next_request_id,
-            &mut bg_rng,
-        );
+        let background: Vec<ServerRequest> = match &self.spec.workload {
+            Some(workload) if !workload.is_empty() => mfc_workload::WorkloadStream::new(
+                workload,
+                origin,
+                window_end,
+                1_000_000_000 + self.next_request_id,
+                &bg_rng,
+                mfc_webserver::CatalogSampler::background(&self.spec.catalog),
+            )
+            .collect(),
+            _ => self.spec.background.generate(
+                &self.spec.catalog,
+                origin,
+                window_end,
+                1_000_000_000 + self.next_request_id,
+                &mut bg_rng,
+            ),
+        };
         let background_requests = background.len() as u64;
         self.background_served += background_requests;
 
@@ -620,6 +654,56 @@ mod tests {
         backend.measure_base(ClientId(0), &probe);
         let obs = backend.run_epoch(&plan(probe, &[0, 1, 2], 15_000));
         assert!(obs.background_requests > 0);
+    }
+
+    #[test]
+    fn workload_spec_replaces_the_flat_background() {
+        // A session-structured workload streams against the target during
+        // the epoch instead of the flat Poisson process.
+        let workload = mfc_workload::WorkloadSpec::sessions(
+            mfc_workload::ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+            mfc_workload::SessionModel::browsing(),
+            mfc_workload::ClientSpec::default(),
+        );
+        let spec = SimTargetSpec::single_server(
+            ServerConfig::lab_apache(),
+            ContentCatalog::typical_site(1),
+        )
+        .with_workload(workload);
+        let mut backend = SimBackend::new(spec, 60, 3);
+        let probe = RequestSpec {
+            method: ProbeMethod::Head,
+            path: "/index.html".to_string(),
+            stage: Stage::Base,
+            expected_bytes: 0,
+        };
+        backend.measure_base(ClientId(0), &probe);
+        let obs = backend.run_epoch(&plan(probe, &[0, 1, 2], 15_000));
+        assert!(obs.background_requests > 0);
+        assert!(backend.background_requests_served() > 0);
+    }
+
+    #[test]
+    fn workload_backed_epochs_are_deterministic() {
+        let run = || {
+            let workload = mfc_workload::WorkloadSpec::sessions(
+                mfc_workload::ArrivalProcess::diurnal(1.0, 0.8, 120.0, 8),
+                mfc_workload::SessionModel::browsing(),
+                mfc_workload::ClientSpec::default(),
+            );
+            let spec = SimTargetSpec::single_server(
+                ServerConfig::lab_apache(),
+                ContentCatalog::lab_validation(),
+            )
+            .with_workload(workload);
+            let mut backend = SimBackend::new(spec, 60, 8);
+            let spec = base_spec();
+            for c in 0..10u32 {
+                backend.measure_base(ClientId(c), &spec);
+            }
+            backend.run_epoch(&plan(spec, &(0..10u32).collect::<Vec<_>>(), 15_000))
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -34,6 +34,62 @@ impl StageSelection {
     }
 }
 
+/// Quiescence-aware scheduling: how the coordinator reacts when an epoch
+/// lands in a background-load surge window.
+///
+/// The paper runs its cooperating-site MFCs at negotiated quiet hours and
+/// notes that background load shifts stopping sizes (Univ-3, §4).  With a
+/// policy set, the coordinator tracks each stage's baseline background
+/// rate (the median over epochs that were not themselves surged) and,
+/// when an epoch's server-reported background rate exceeds
+/// `surge_factor × baseline` (and `min_surge_rate` absolutely), flags the
+/// epoch as surge-suspected, waits `backoff`, and re-runs it — up to
+/// `max_retries` times.  Flagged attempts stay in the report for audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuiescencePolicy {
+    /// An epoch is surged when its background rate exceeds this multiple
+    /// of the stage's baseline rate.
+    pub surge_factor: f64,
+    /// …and exceeds this absolute floor (requests/s), so idle-site noise
+    /// never counts as a surge.
+    pub min_surge_rate: f64,
+    /// How long to wait before re-running a surged epoch.
+    pub backoff: SimDuration,
+    /// Maximum re-runs per epoch; when exhausted the surged epoch's result
+    /// stands (and the inference will see the surge flag).
+    pub max_retries: u32,
+}
+
+impl Default for QuiescencePolicy {
+    fn default() -> Self {
+        QuiescencePolicy {
+            surge_factor: 3.0,
+            min_surge_rate: 1.0,
+            backoff: SimDuration::from_secs(60),
+            max_retries: 2,
+        }
+    }
+}
+
+impl QuiescencePolicy {
+    /// The surge threshold for a given baseline rate: an epoch whose
+    /// background rate exceeds this is surge-suspected.
+    pub fn threshold(&self, baseline_rate: f64) -> f64 {
+        (self.surge_factor * baseline_rate).max(self.min_surge_rate)
+    }
+
+    /// Checks the policy for internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.surge_factor.is_finite() || self.surge_factor <= 1.0 {
+            return Err("surge_factor must be finite and > 1".to_string());
+        }
+        if !self.min_surge_rate.is_finite() || self.min_surge_rate < 0.0 {
+            return Err("min_surge_rate must be finite and >= 0".to_string());
+        }
+        Ok(())
+    }
+}
+
 /// Complete configuration of one MFC experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MfcConfig {
@@ -66,6 +122,11 @@ pub struct MfcConfig {
     pub stagger: Option<SimDuration>,
     /// Stages to run.
     pub stages: StageSelection,
+    /// Quiescence-aware scheduling: when set, epochs that land in a
+    /// detected background-load surge are flagged, delayed and re-run.
+    /// `None` (the default, and the paper's behaviour) runs every epoch
+    /// exactly once regardless of background conditions.
+    pub quiescence: Option<QuiescencePolicy>,
     /// Fraction of clients that must see the degradation in the Large
     /// Object stage (the paper uses the 90th percentile instead of the
     /// median there); expressed as the detection quantile override.
@@ -94,6 +155,7 @@ impl MfcConfig {
             requests_per_client: 1,
             stagger: None,
             stages: StageSelection::All,
+            quiescence: None,
             large_object_quantile: 0.9,
         }
     }
@@ -164,6 +226,14 @@ impl MfcConfig {
         self
     }
 
+    /// Enables quiescence-aware scheduling with the given policy: epochs
+    /// coinciding with a detected background-load surge are flagged,
+    /// delayed by the policy's backoff and re-run.
+    pub fn with_quiescence(mut self, policy: QuiescencePolicy) -> Self {
+        self.quiescence = Some(policy);
+        self
+    }
+
     /// Sets the scheduling lead time — the gap between the start of an
     /// epoch and the intended arrival instant of its requests.  The paper
     /// uses 15 s over the wide area; live loopback experiments can use a
@@ -206,6 +276,9 @@ impl MfcConfig {
         }
         if self.client_timeout.is_zero() {
             return Err("client_timeout must be positive".to_string());
+        }
+        if let Some(policy) = &self.quiescence {
+            policy.validate()?;
         }
         Ok(())
     }
@@ -281,6 +354,26 @@ mod tests {
         assert!(cfg.validate().is_err());
         let mut cfg = MfcConfig::standard();
         cfg.requests_per_client = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn quiescence_policy_validates() {
+        let cfg = MfcConfig::standard().with_quiescence(QuiescencePolicy::default());
+        assert!(cfg.validate().is_ok());
+        let policy = QuiescencePolicy::default();
+        assert_eq!(policy.threshold(10.0), 30.0);
+        // The absolute floor dominates near-idle baselines.
+        assert_eq!(policy.threshold(0.1), 1.0);
+        let cfg = MfcConfig::standard().with_quiescence(QuiescencePolicy {
+            surge_factor: 1.0,
+            ..QuiescencePolicy::default()
+        });
+        assert!(cfg.validate().is_err());
+        let cfg = MfcConfig::standard().with_quiescence(QuiescencePolicy {
+            min_surge_rate: -2.0,
+            ..QuiescencePolicy::default()
+        });
         assert!(cfg.validate().is_err());
     }
 

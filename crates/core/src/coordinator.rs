@@ -67,6 +67,19 @@ struct ClientState {
     latency: ClientLatency,
 }
 
+/// Accumulated state of one stage run: the epoch trace, the request
+/// budget, and the background-rate baseline the quiescence policy
+/// compares against.
+#[derive(Debug, Default)]
+struct StageRun {
+    epochs: Vec<EpochSummary>,
+    requests_issued: usize,
+    max_crowd_tested: usize,
+    /// Server-reported background rates of epochs that were *not*
+    /// surge-flagged; their median is the stage's baseline.
+    clean_rates: Vec<f64>,
+}
+
 /// The coordinator.
 #[derive(Debug, Clone)]
 pub struct Coordinator {
@@ -224,13 +237,11 @@ impl Coordinator {
         }
 
         let threshold_ms = self.config.threshold.as_millis_f64();
-        let mut epochs: Vec<EpochSummary> = Vec::new();
-        let mut requests_issued = 0usize;
-        let mut max_crowd_tested = 0usize;
+        let mut state = StageRun::default();
 
         for (epoch_number, crowd) in self.config.crowd_schedule().into_iter().enumerate() {
             let crowd = crowd.min(clients.len());
-            let (summary, _) = self.execute_epoch(
+            let summary = self.run_epoch_quiesced(
                 backend,
                 stage,
                 profile,
@@ -239,11 +250,10 @@ impl Coordinator {
                 epoch_number as u32 + 1,
                 false,
                 rng,
+                &mut state,
             );
-            requests_issued += summary.requests_scheduled;
-            max_crowd_tested = max_crowd_tested.max(summary.crowd_size);
             let triggered = summary.detector_ms > threshold_ms;
-            epochs.push(summary);
+            state.epochs.push(summary);
             backend.wait(self.config.epoch_gap);
 
             if !triggered {
@@ -259,7 +269,7 @@ impl Coordinator {
             let mut confirmed = false;
             for check_crowd in candidates {
                 let check_crowd = check_crowd.min(clients.len());
-                let (summary, _) = self.execute_epoch(
+                let summary = self.run_epoch_quiesced(
                     backend,
                     stage,
                     profile,
@@ -268,11 +278,10 @@ impl Coordinator {
                     epoch_number as u32 + 1,
                     true,
                     rng,
+                    &mut state,
                 );
-                requests_issued += summary.requests_scheduled;
-                max_crowd_tested = max_crowd_tested.max(summary.crowd_size);
                 let exceeded = summary.detector_ms > threshold_ms;
-                epochs.push(summary);
+                state.epochs.push(summary);
                 backend.wait(self.config.epoch_gap);
                 if exceeded {
                     confirmed = true;
@@ -283,8 +292,8 @@ impl Coordinator {
                 return StageReport {
                     stage,
                     outcome: StageOutcome::Stopped { crowd_size: crowd },
-                    epochs,
-                    requests_issued,
+                    epochs: state.epochs,
+                    requests_issued: state.requests_issued,
                 };
             }
             // Check failed: the degradation was stochastic; keep going.
@@ -292,9 +301,77 @@ impl Coordinator {
 
         StageReport {
             stage,
-            outcome: StageOutcome::NoStop { max_crowd_tested },
-            epochs,
-            requests_issued,
+            outcome: StageOutcome::NoStop {
+                max_crowd_tested: state.max_crowd_tested,
+            },
+            epochs: state.epochs,
+            requests_issued: state.requests_issued,
+        }
+    }
+
+    /// Executes one epoch under the quiescence policy: when the epoch's
+    /// server-reported background rate exceeds the surge threshold over the
+    /// stage's baseline, the epoch is flagged `surge_suspected`, kept in
+    /// the report for audit, and re-run after the policy's backoff — up to
+    /// `max_retries` times (paper §4's "quiet hours", automated).  Without
+    /// a policy this is exactly one [`Coordinator::execute_epoch`] call.
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch_quiesced(
+        &self,
+        backend: &mut dyn MfcBackend,
+        stage: Stage,
+        profile: &TargetProfile,
+        clients: &[(ClientState, usize)],
+        crowd: usize,
+        index: u32,
+        check_phase: bool,
+        rng: &mut SimRng,
+        state: &mut StageRun,
+    ) -> EpochSummary {
+        let mut attempts = 0u32;
+        loop {
+            let (mut summary, _) = self.execute_epoch(
+                backend,
+                stage,
+                profile,
+                clients,
+                crowd,
+                index,
+                check_phase,
+                rng,
+            );
+            state.requests_issued += summary.requests_scheduled;
+            state.max_crowd_tested = state.max_crowd_tested.max(summary.crowd_size);
+            let surged = match (&self.config.quiescence, summary.background_rate) {
+                (Some(policy), Some(rate)) => {
+                    // The baseline needs at least one clean epoch; the
+                    // stage's first epoch seeds it.
+                    stats::median(&state.clean_rates)
+                        .is_some_and(|baseline| rate > policy.threshold(baseline))
+                }
+                _ => false,
+            };
+            if surged {
+                summary.surge_suspected = true;
+                let policy = self
+                    .config
+                    .quiescence
+                    .as_ref()
+                    .expect("a surge implies a policy");
+                if attempts < policy.max_retries {
+                    attempts += 1;
+                    state.epochs.push(summary);
+                    backend.wait(policy.backoff);
+                    continue;
+                }
+                // Retries exhausted: the surged result stands, flagged, and
+                // the inference layer will see the confound.
+                return summary;
+            }
+            if let Some(rate) = summary.background_rate {
+                state.clean_rates.push(rate);
+            }
+            return summary;
         }
     }
 
@@ -444,6 +521,15 @@ impl Coordinator {
             .as_ref()
             .map(|u| u.link_capacity)
             .filter(|&c| c > 0.0);
+        // Background-load observables: the non-MFC request rate the target
+        // served while the epoch ran (per second of the server's busy
+        // window), and the drift of the fastest clients above their
+        // calibrated base times.
+        let background_rate = observation.server_utilization.as_ref().and_then(|u| {
+            let secs = u.window.as_secs_f64();
+            (secs > 0.0).then(|| observation.background_requests as f64 / secs)
+        });
+        let baseline_drift_ms = stats::percentile(&normalized, 0.1);
 
         let summary = EpochSummary {
             index,
@@ -461,6 +547,9 @@ impl Coordinator {
             client_goodput_cov,
             aggregate_goodput,
             link_capacity,
+            background_rate,
+            baseline_drift_ms,
+            surge_suspected: false,
         };
         (summary, observation)
     }
@@ -929,6 +1018,192 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    /// A scripted backend whose regular traffic surges inside a fixed
+    /// wall-clock window: epochs that land in the window see 50 req/s of
+    /// background (reported through the utilization window) and inflated
+    /// response times; outside it the server is quiet and fast.
+    struct SurgeBackend {
+        clock: SimDuration,
+        surge_from: SimDuration,
+        surge_until: SimDuration,
+    }
+
+    impl SurgeBackend {
+        fn new(surge_from_secs: u64, surge_until_secs: u64) -> Self {
+            SurgeBackend {
+                clock: SimDuration::ZERO,
+                surge_from: SimDuration::from_secs(surge_from_secs),
+                surge_until: SimDuration::from_secs(surge_until_secs),
+            }
+        }
+
+        fn surging(&self) -> bool {
+            self.clock >= self.surge_from && self.clock < self.surge_until
+        }
+    }
+
+    impl crate::backend::MfcBackend for SurgeBackend {
+        fn registered_clients(&mut self) -> Vec<ClientId> {
+            (0..55).map(ClientId).collect()
+        }
+
+        fn ping(&mut self, _client: ClientId) -> Option<SimDuration> {
+            Some(SimDuration::from_millis(20))
+        }
+
+        fn measure_base(
+            &mut self,
+            _client: ClientId,
+            _request: &crate::types::RequestSpec,
+        ) -> crate::backend::BaseMeasurement {
+            self.clock += SimDuration::from_millis(200);
+            crate::backend::BaseMeasurement {
+                target_rtt: SimDuration::from_millis(20),
+                base_response_time: SimDuration::from_millis(20),
+                status: crate::types::ProbeStatus::Ok,
+                bytes: 0,
+            }
+        }
+
+        fn run_epoch(&mut self, plan: &EpochPlan) -> EpochObservation {
+            let surging = self.surging();
+            // During the surge every probe crawls; when quiet the server
+            // absorbs any tested crowd.
+            let normalized = if surging {
+                SimDuration::from_millis(600)
+            } else {
+                SimDuration::from_millis(30)
+            };
+            let background_rate = if surging { 50.0 } else { 0.2 };
+            let window = SimDuration::from_secs(10);
+            let observations = plan
+                .commands
+                .iter()
+                .map(|command| crate::types::ClientObservation {
+                    client: command.client,
+                    group: 0,
+                    status: crate::types::ProbeStatus::Ok,
+                    bytes: 0,
+                    response_time: normalized + SimDuration::from_millis(20),
+                    base_response_time: SimDuration::from_millis(20),
+                })
+                .collect();
+            self.clock += SimDuration::from_secs(30);
+            EpochObservation {
+                observations,
+                target_arrivals: Vec::new(),
+                lost_commands: 0,
+                background_requests: (background_rate * window.as_secs_f64()) as u64,
+                server_utilization: Some(mfc_webserver::UtilizationReport {
+                    window,
+                    cpu_utilization: 0.2,
+                    peak_memory_bytes: 0,
+                    mean_memory_bytes: 0.0,
+                    network_bytes_sent: 0,
+                    disk_operations: 0,
+                    mean_busy_workers: 1.0,
+                    peak_busy_workers: 1,
+                    refused_requests: 0,
+                    completed_requests: plan.commands.len() as u64,
+                    shed_requests: 0,
+                    throttled_requests: 0,
+                    link_capacity: 1_250_000.0,
+                }),
+            }
+        }
+
+        fn profile_target(&mut self) -> TargetProfile {
+            TargetProfile::from_catalog(&mfc_webserver::ContentCatalog::lab_validation())
+        }
+
+        fn wait(&mut self, gap: SimDuration) {
+            self.clock += gap;
+        }
+    }
+
+    #[test]
+    fn surge_coincident_epochs_yield_a_confounded_verdict() {
+        // 55 base measurements take ~11 s, epoch 1 runs quiet, epoch 2
+        // (and any checks) land inside the [45 s, 200 s) surge: without a
+        // quiescence policy the stage stops inside the surge and the
+        // inference must call the confound.
+        let mut backend = SurgeBackend::new(45, 200);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(20)
+            .with_increment(10);
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        let stage = &report.stages[0];
+        assert_eq!(stage.outcome, StageOutcome::Stopped { crowd_size: 20 });
+        assert_eq!(
+            report.inference.cause_of(Stage::Base),
+            Some(crate::inference::DegradationCause::BackgroundInterference),
+            "epochs: {:?}",
+            stage.epochs
+        );
+        assert!(report.inference.background_interference_suspected());
+        // The observables carry the evidence: the tail epochs' background
+        // rate sits two orders of magnitude above the baseline.
+        let tail = stage.epochs.last().unwrap();
+        assert!(tail.background_rate.unwrap() > 40.0);
+        assert!(stage.epochs[0].background_rate.unwrap() < 1.0);
+        // Without a policy nothing was rescheduled.
+        assert!(stage.epochs.iter().all(|e| !e.surge_suspected));
+    }
+
+    #[test]
+    fn quiescence_policy_reschedules_around_the_surge() {
+        // Same surge, but the coordinator is allowed to wait it out: the
+        // surged attempt is flagged and kept, the re-run lands in quiet
+        // and the stage honestly reports NoStop.
+        let mut backend = SurgeBackend::new(45, 100);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(20)
+            .with_increment(10)
+            .with_quiescence(crate::config::QuiescencePolicy::default());
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        let stage = &report.stages[0];
+        assert_eq!(
+            stage.outcome,
+            StageOutcome::NoStop {
+                max_crowd_tested: 20
+            },
+            "epochs: {:?}",
+            stage.epochs
+        );
+        // The flagged attempt is auditable in the epoch trace.
+        assert!(stage.epochs.iter().any(|e| e.surge_suspected));
+        // And the verdict is clean: quiet-window evidence, no confound.
+        assert_eq!(
+            report.inference.cause_of(Stage::Base),
+            Some(crate::inference::DegradationCause::NotDegraded)
+        );
+        assert!(!report.inference.background_interference_suspected());
+    }
+
+    #[test]
+    fn exhausted_retries_keep_the_surge_flag() {
+        // A surge that never ends: retries run out, the flagged epoch's
+        // result stands, and the inference sees the confound.
+        let mut backend = SurgeBackend::new(45, 1_000_000);
+        let config = MfcConfig::standard()
+            .with_stages(vec![Stage::Base])
+            .with_max_crowd(20)
+            .with_increment(10)
+            .with_quiescence(crate::config::QuiescencePolicy {
+                max_retries: 1,
+                ..crate::config::QuiescencePolicy::default()
+            });
+        let report = Coordinator::new(config).run(&mut backend).unwrap();
+        let stage = &report.stages[0];
+        assert_eq!(stage.outcome, StageOutcome::Stopped { crowd_size: 20 });
+        assert_eq!(
+            report.inference.cause_of(Stage::Base),
+            Some(crate::inference::DegradationCause::BackgroundInterference)
+        );
     }
 
     #[test]

@@ -98,6 +98,18 @@ pub enum DegradationCause {
     /// alike, so a skewed per-group profile localizes the bottleneck to
     /// the affected groups' shared path, not the target.
     PathCongestion,
+    /// The evidence epochs coincide with a detected background-load surge:
+    /// the server-reported non-MFC request rate during the triggering and
+    /// check epochs sits far above the stage's own baseline (or the
+    /// coordinator's quiescence policy flagged them).  Whatever the stage
+    /// observed — a stop, errors, or even a NoStop — it measured *crowd
+    /// plus surge*, not the crowd, so the verdict is confounded and says
+    /// nothing about the server's provisioning at normal load.  Re-run the
+    /// stage in a quiet window (the quiescence policy automates exactly
+    /// that).  Checked before every defense fingerprint: a surge fakes
+    /// both the shedding signature (overload 503s) and the rate-limit
+    /// clamp (starved uniform goodputs over an idle-looking link).
+    BackgroundInterference,
     /// No confirmed degradation and no defense fingerprints.
     NotDegraded,
     /// Not enough evidence (stage skipped, or no epoch produced samples).
@@ -221,6 +233,16 @@ impl InferenceReport {
             .any(|c| c.cause == DegradationCause::PathCongestion)
     }
 
+    /// True when any stage's verdict is confounded by a background-load
+    /// surge during its evidence epochs: the reported stopping crowd
+    /// measures crowd *plus* surge and should be re-measured in a quiet
+    /// window.
+    pub fn background_interference_suspected(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| c.cause == DegradationCause::BackgroundInterference)
+    }
+
     /// Minimum fraction of HTTP-error samples in the assessed tail epochs
     /// above which an outcome is attributed to load shedding.
     const SHED_RATE_THRESHOLD: f64 = 0.25;
@@ -234,6 +256,13 @@ impl InferenceReport {
     /// response time stays below this fraction of θ while another group
     /// exceeds θ — the asymmetry a server-side constraint cannot produce.
     const PATH_FLAT_FRACTION: f64 = 0.25;
+    /// An evidence epoch counts as surge-coincident when its background
+    /// rate exceeds this multiple of the stage's baseline rate…
+    const SURGE_FACTOR: f64 = 3.0;
+    /// …and this absolute floor (requests/s), so idle-site noise never
+    /// reads as a surge.  Mirrors [`crate::config::QuiescencePolicy`]'s
+    /// defaults.
+    const SURGE_MIN_RATE: f64 = 1.0;
 
     /// Attributes a stage outcome by fingerprinting its final epochs.
     fn assess_cause(report: &StageReport, threshold_ms: f64) -> DegradationCause {
@@ -245,9 +274,70 @@ impl InferenceReport {
         if epochs.is_empty() {
             return DegradationCause::Indeterminate;
         }
-        // The last three epochs cover the triggering epoch plus its check
-        // phase — the evidence the stopping verdict actually rests on.
-        let tail = &epochs[epochs.len().saturating_sub(3)..];
+        // Background-surge confound comes first, before *any* defense
+        // fingerprint: a surge that overruns the server produces fast 503s
+        // (a fake shedding signature) and starved uniform goodputs over an
+        // idle-looking link (a fake rate-limit clamp), so evidence epochs
+        // that ran inside a surge must never support a defense
+        // attribution — only the interference verdict.  The last three
+        // epochs cover the triggering epoch plus its check phase (or, for
+        // NoStop, the largest crowds) — the evidence the verdict rests on.
+        // The baseline is the lower quartile of the stage's observed
+        // background rates, so a surge that *starts mid-run* is caught
+        // while steady heavy background (the Univ-3 normality) is not
+        // flagged.
+        let tail_all = &epochs[epochs.len().saturating_sub(3)..];
+        let rates: Vec<f64> = epochs.iter().filter_map(|e| e.background_rate).collect();
+        let surged_epochs = |threshold: f64| {
+            tail_all
+                .iter()
+                .filter(|e| {
+                    e.surge_suspected || e.background_rate.is_some_and(|rate| rate > threshold)
+                })
+                .count()
+        };
+        let evidence = tail_all
+            .iter()
+            .filter(|e| e.surge_suspected || e.background_rate.is_some())
+            .count();
+        let surge_detected = if rates.len() >= 2 && evidence > 0 {
+            let mut sorted = rates.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+            let baseline = sorted[(sorted.len() - 1) / 4];
+            let threshold = (Self::SURGE_FACTOR * baseline).max(Self::SURGE_MIN_RATE);
+            surged_epochs(threshold) * 2 > evidence
+        } else {
+            // No rate data at all, but the coordinator's own quiescence
+            // policy may have flagged the evidence epochs.
+            evidence > 0 && surged_epochs(f64::INFINITY) * 2 > evidence
+        };
+        if surge_detected {
+            // A surge confounds a *stop* (the stage measured crowd plus
+            // surge) and an error-ridden tail (surge-born 503s would
+            // otherwise read as an operator defense, or mask a NoStop as
+            // healthy).  A clean NoStop straight through the surge is the
+            // one honest survivor: the server absorbed even more than the
+            // crowd.
+            let stopped = matches!(report.outcome, StageOutcome::Stopped { .. });
+            let tail_shed =
+                tail_all.iter().map(|e| e.error_rate).sum::<f64>() / tail_all.len() as f64;
+            if stopped || tail_shed >= Self::SHED_RATE_THRESHOLD {
+                return DegradationCause::BackgroundInterference;
+            }
+        }
+        // Everything downstream fingerprints the *clean* epochs only:
+        // surge-flagged epochs are known-contaminated evidence.  Without a
+        // quiescence policy no epoch is flagged and this is exactly the
+        // pre-workload view.
+        let clean: Vec<&EpochSummary> = epochs
+            .iter()
+            .filter(|e| !e.surge_suspected)
+            .copied()
+            .collect();
+        if clean.is_empty() {
+            return DegradationCause::BackgroundInterference;
+        }
+        let tail = &clean[clean.len().saturating_sub(3)..];
         let shed_rate = tail.iter().map(|e| e.error_rate).sum::<f64>() / tail.len() as f64;
         if shed_rate >= Self::SHED_RATE_THRESHOLD {
             return DegradationCause::LoadSheddingDefense;
@@ -317,7 +407,7 @@ impl InferenceReport {
                 // smallest- and largest-crowd epochs that bear the
                 // signature; a goodput ratio beyond the geometric midpoint
                 // of the crowd ratio is bandwidth division, not a limiter.
-                let clamped_epochs: Vec<(usize, f64)> = epochs
+                let clamped_epochs: Vec<(usize, f64)> = clean
                     .iter()
                     .filter(|e| signature(e))
                     .filter_map(|e| e.client_goodput_median.map(|m| (e.crowd_size, m)))
@@ -426,6 +516,14 @@ impl InferenceReport {
                         c.subsystem
                     )),
                 },
+                DegradationCause::BackgroundInterference => notes.push(format!(
+                    "{} stage: the evidence epochs coincide with a background-load surge — \
+                     the server's non-MFC request rate sat far above the stage's baseline.  \
+                     The outcome measures crowd plus surge, not the {} alone; re-run the \
+                     stage in a quiet window.",
+                    c.stage.name(),
+                    c.subsystem
+                )),
                 DegradationCause::PathCongestion => notes.push(format!(
                     "{} stage: the confirmed degradation is localized to a subset of vantage \
                      groups — their normalized response times blow past the threshold while \
@@ -510,6 +608,9 @@ mod tests {
             client_goodput_cov: cov,
             aggregate_goodput: aggregate,
             link_capacity: Some(1_250_000.0),
+            background_rate: None,
+            baseline_drift_ms: None,
+            surge_suspected: false,
         }
     }
 
@@ -726,6 +827,130 @@ mod tests {
             Some(DegradationCause::ResourceConstraint)
         );
         assert!(!inference.defense_suspected());
+    }
+
+    fn epoch_with_background(crowd: usize, rate: f64) -> EpochSummary {
+        let mut e = epoch(crowd, 0.0, None);
+        e.background_rate = Some(rate);
+        e
+    }
+
+    #[test]
+    fn surge_coincident_stop_reads_as_background_interference() {
+        // The stage's baseline background is 0.2 req/s; the triggering and
+        // check epochs ran while it surged to 40 req/s.  The stopping
+        // crowd measures crowd + surge: confounded.
+        let mut report = stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 20 });
+        report.epochs = vec![
+            epoch_with_background(10, 0.2),
+            epoch_with_background(20, 42.0),
+            epoch_with_background(19, 38.0),
+            epoch_with_background(20, 40.0),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::BackgroundInterference)
+        );
+        assert!(inference.background_interference_suspected());
+        assert!(!inference.defense_suspected());
+        assert!(inference.notes.iter().any(|n| n.contains("quiet window")));
+    }
+
+    #[test]
+    fn surge_overload_errors_are_not_mistaken_for_a_shedding_defense() {
+        // The surge overruns the server, so the evidence epochs come back
+        // full of fast 503s — the shedding signature, but born of the
+        // background surge, not an operator defense.  The surge check must
+        // win.
+        let surged = |crowd: usize, rate: f64, errors: f64| {
+            let mut e = epoch(crowd, errors, None);
+            e.background_rate = Some(rate);
+            e
+        };
+        let mut report = stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 20 });
+        report.epochs = vec![
+            surged(10, 0.2, 0.0),
+            surged(20, 42.0, 0.6),
+            surged(20, 40.0, 0.55),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::BackgroundInterference)
+        );
+        assert!(!inference.defense_suspected());
+        // A NoStop masked by surge-born 503s is equally confounded.
+        let mut report = stage_report(
+            Stage::Base,
+            StageOutcome::NoStop {
+                max_crowd_tested: 40,
+            },
+        );
+        report.epochs = vec![
+            surged(10, 0.2, 0.0),
+            surged(20, 42.0, 0.6),
+            surged(40, 40.0, 0.7),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::BackgroundInterference)
+        );
+    }
+
+    #[test]
+    fn steady_heavy_background_is_not_a_surge() {
+        // Univ-3-style: the server is always busy.  A constant 20 req/s
+        // background is the site's normal operating point, not a surge —
+        // the verdict stays a genuine constraint.
+        let mut report = stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 20 });
+        report.epochs = vec![
+            epoch_with_background(10, 19.0),
+            epoch_with_background(20, 21.0),
+            epoch_with_background(20, 20.0),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::ResourceConstraint)
+        );
+        assert!(!inference.background_interference_suspected());
+    }
+
+    #[test]
+    fn idle_site_noise_stays_below_the_absolute_floor() {
+        // Baseline 0.05 req/s, "surge" to 0.4 req/s: an 8x ratio but far
+        // below one request per second — not a surge on any real server.
+        let mut report = stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 20 });
+        report.epochs = vec![
+            epoch_with_background(10, 0.05),
+            epoch_with_background(20, 0.4),
+            epoch_with_background(20, 0.35),
+        ];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::ResourceConstraint)
+        );
+    }
+
+    #[test]
+    fn coordinator_surge_flags_confound_even_without_rate_data() {
+        // A live backend with no server-side instrumentation: only the
+        // coordinator's quiescence flags carry the evidence.
+        let mut report = stage_report(Stage::Base, StageOutcome::Stopped { crowd_size: 20 });
+        let flagged = |crowd: usize| {
+            let mut e = epoch(crowd, 0.0, None);
+            e.surge_suspected = true;
+            e
+        };
+        report.epochs = vec![epoch(10, 0.0, None), flagged(20), flagged(20)];
+        let inference = InferenceReport::from_stages(&[report], &config());
+        assert_eq!(
+            inference.cause_of(Stage::Base),
+            Some(DegradationCause::BackgroundInterference)
+        );
     }
 
     #[test]

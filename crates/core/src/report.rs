@@ -171,6 +171,9 @@ mod tests {
             client_goodput_cov: None,
             aggregate_goodput: None,
             link_capacity: None,
+            background_rate: None,
+            baseline_drift_ms: None,
+            surge_suspected: false,
         }
     }
 

@@ -272,6 +272,26 @@ pub struct EpochSummary {
     /// The target's aggregate outbound link capacity in bytes/s, when the
     /// target is instrumented (simulation, or a cooperating operator).
     pub link_capacity: Option<f64>,
+    /// Background (non-MFC) requests per second the target served during
+    /// the epoch window, when the target reports it (simulation, or a
+    /// cooperating operator's access log — the "Other Traffic" column of
+    /// the paper's §4 tables, per epoch).  The inference layer compares the
+    /// evidence epochs' rate against the stage's baseline: a surge
+    /// coinciding with the triggering epochs confounds the verdict.
+    pub background_rate: Option<f64>,
+    /// The 10th percentile of the epoch's normalized response times, in
+    /// milliseconds — a *baseline-drift* observable.  The base response
+    /// times were calibrated before the stage started; if even the fastest
+    /// clients in an epoch sit far above their calibrated base, the
+    /// server's unloaded operating point has moved (background load, a
+    /// capacity change) since calibration, independent of any crowd-size
+    /// effect.
+    pub baseline_drift_ms: Option<f64>,
+    /// Set by the coordinator's quiescence policy when this epoch ran
+    /// inside a detected background-load surge window.  Flagged epochs are
+    /// kept in the report for audit; with retries enabled the coordinator
+    /// re-runs the epoch after a backoff.
+    pub surge_suspected: bool,
 }
 
 /// How a stage ended.

@@ -27,4 +27,4 @@ pub mod survey;
 
 pub use coop::CoopSite;
 pub use population::SiteClass;
-pub use survey::{StoppingBucket, SurveyConfig, SurveyResult};
+pub use survey::{BackgroundModel, StoppingBucket, SurveyConfig, SurveyResult};

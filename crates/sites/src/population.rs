@@ -262,6 +262,34 @@ impl SiteClass {
         };
         spec.with_background(BackgroundTraffic::at_rate(background_rate))
     }
+
+    /// Like [`SiteClass::generate_site`], but the site's regular users are
+    /// modelled as a *session-structured diurnal workload* instead of a
+    /// flat Poisson process: the same mean request rate the flat model
+    /// would have used is carried by browsing sessions (Markov page walks
+    /// with think times and embedded objects) whose arrival rate follows a
+    /// day/night cycle.  This is the §4 recommendation — probe under
+    /// realistic background conditions — applied to the §5 populations.
+    pub fn generate_site_with_sessions(self, site_index: u64, rng: &mut SimRng) -> SimTargetSpec {
+        let spec = self.generate_site(site_index, rng);
+        let workload = Self::session_workload(spec.background.rate_per_sec);
+        spec.with_workload(workload)
+    }
+
+    /// A session-structured diurnal workload carrying `request_rate`
+    /// requests per second on average: browsing sessions (each worth
+    /// several requests) arriving on a day/night cycle with ±60% swing.
+    pub fn session_workload(request_rate: f64) -> mfc_workload::WorkloadSpec {
+        let model = mfc_workload::SessionModel::browsing();
+        let per_session = model.mean_requests_per_session().max(1.0);
+        mfc_workload::WorkloadSpec::sessions(
+            // A compressed diurnal cycle (one "day" per simulated hour):
+            // MFC runs span minutes, so a 24 h cycle would look flat.
+            mfc_workload::ArrivalProcess::diurnal(request_rate / per_session, 0.6, 3_600.0, 24),
+            model,
+            mfc_workload::ClientSpec::default(),
+        )
+    }
 }
 
 /// Distribution parameters for one class.
@@ -365,6 +393,26 @@ mod tests {
             assert!(!spec.catalog.small_queries().is_empty());
             assert!(!spec.catalog.large_objects().is_empty());
         }
+    }
+
+    #[test]
+    fn session_sites_carry_the_flat_rate_as_sessions() {
+        let mut flat_rng = SimRng::seed_from(12);
+        let mut session_rng = SimRng::seed_from(12);
+        let flat = SiteClass::Startup.generate_site(4, &mut flat_rng);
+        let sessions = SiteClass::Startup.generate_site_with_sessions(4, &mut session_rng);
+        // Same server draw (the workload wrapper consumes no extra RNG)…
+        assert_eq!(flat.server, sessions.server);
+        assert_eq!(flat.background, sessions.background);
+        // …but the session spec carries the same mean request rate.
+        let workload = sessions.workload.as_ref().expect("sessions carry a spec");
+        assert!(workload.validate().is_ok());
+        let rate = workload.mean_request_rate();
+        let flat_rate = flat.background.rate_per_sec;
+        assert!(
+            (rate - flat_rate).abs() < 0.05 * flat_rate.max(0.05),
+            "session request rate {rate} vs flat {flat_rate}"
+        );
     }
 
     #[test]

@@ -94,8 +94,25 @@ pub struct SurveyConfig {
     /// Shared wide-area bottlenecks in front of every surveyed site
     /// (direct by default — the paper's transparent-network assumption).
     pub topology: TopologySpec,
+    /// How each site's regular users are modelled while the MFC probes it.
+    pub background_model: BackgroundModel,
     /// Seed controlling both site generation and MFC randomness.
     pub seed: u64,
+}
+
+/// The background-traffic model a survey arms its sites with.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum BackgroundModel {
+    /// The paper-era model: a flat Poisson process at the site's drawn
+    /// background rate.
+    #[default]
+    FlatPoisson,
+    /// Each site's drawn rate carried by session-structured diurnal
+    /// traffic ([`SiteClass::generate_site_with_sessions`]).
+    DiurnalSessions,
+    /// One explicit workload spec applied to every site (flash-crowd and
+    /// burstiness axes of the scenario matrix).
+    Fixed(mfc_workload::WorkloadSpec),
 }
 
 impl SurveyConfig {
@@ -113,8 +130,22 @@ impl SurveyConfig {
                 .with_increment(5),
             defenses: DefenseConfig::none(),
             topology: TopologySpec::direct(),
+            background_model: BackgroundModel::default(),
             seed: 0x5ec5 + class.paper_sample_size() as u64,
         }
+    }
+
+    /// Models every surveyed site's regular users as session-structured
+    /// diurnal traffic instead of the flat Poisson process.
+    pub fn with_session_background(mut self) -> SurveyConfig {
+        self.background_model = BackgroundModel::DiurnalSessions;
+        self
+    }
+
+    /// Arms every surveyed site with one explicit background workload.
+    pub fn with_workload(mut self, workload: mfc_workload::WorkloadSpec) -> SurveyConfig {
+        self.background_model = BackgroundModel::Fixed(workload);
+        self
     }
 
     /// Arms every surveyed site with the given defenses — the scenario
@@ -233,7 +264,15 @@ pub fn run_survey_with(
     // serial loop; each generated spec is then an independent trial.
     let mut site_rng = SimRng::seed_from(config.seed).fork("sites");
     let specs: Vec<_> = (0..config.sites)
-        .map(|site_index| class.generate_site(site_index as u64, &mut site_rng))
+        .map(|site_index| match &config.background_model {
+            BackgroundModel::FlatPoisson => class.generate_site(site_index as u64, &mut site_rng),
+            BackgroundModel::DiurnalSessions => {
+                class.generate_site_with_sessions(site_index as u64, &mut site_rng)
+            }
+            BackgroundModel::Fixed(workload) => class
+                .generate_site(site_index as u64, &mut site_rng)
+                .with_workload(workload.clone()),
+        })
         .collect();
 
     let raw_outcomes = runner.run(specs, |site_index, spec| {
@@ -336,6 +375,27 @@ mod tests {
         let a = run_survey(SiteClass::Startup, &config);
         let b = run_survey(SiteClass::Startup, &config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_background_surveys_run_and_stay_deterministic() {
+        let config =
+            SurveyConfig::quick(SiteClass::Startup, Stage::Base, 4).with_session_background();
+        let a = run_survey(SiteClass::Startup, &config);
+        let b = run_survey(SiteClass::Startup, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.sites, 4);
+        assert_eq!(a.bucket_counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn fixed_workload_surveys_apply_the_spec_to_every_site() {
+        let workload = SiteClass::session_workload(3.0);
+        let config =
+            SurveyConfig::quick(SiteClass::Startup, Stage::Base, 3).with_workload(workload.clone());
+        assert_eq!(config.background_model, BackgroundModel::Fixed(workload));
+        let result = run_survey(SiteClass::Startup, &config);
+        assert_eq!(result.sites, 3);
     }
 
     #[test]

@@ -6,44 +6,42 @@
 //! the QTP production system handled millions of non-MFC requests during
 //! the test window (§4).  The paper observes that background load shifts
 //! the Base-stage stopping size at Univ-3 and recommends running MFCs under
-//! diverse background conditions.  [`BackgroundTraffic`] generates that
-//! competing load as a Poisson arrival process over the server's own
-//! content.
+//! diverse background conditions.
+//!
+//! The heavy lifting now lives in `mfc-workload`: [`BackgroundTraffic`] is
+//! a thin adapter that expresses the original flat-Poisson background as
+//! the degenerate [`WorkloadSpec`] (one constant-rate source with a
+//! class-mix request model) and streams it through the same
+//! [`WorkloadStream`] every richer workload uses.  The adapter is
+//! *bit-compatible* with the pre-workload generator — same draws from the
+//! same RNG in the same order — which the pin tests at the bottom of this
+//! file hold it to.
+//!
+//! [`CatalogSampler`] is the bridge for every workload, not just this one:
+//! it maps the abstract request intents a [`WorkloadStream`] emits (mix
+//! draws, session page views, trace entries) onto concrete
+//! [`ServerRequest`]s against a server's [`ContentCatalog`].
 
 use mfc_simcore::{SimDuration, SimRng, SimTime};
 use mfc_simnet::Bandwidth;
+use mfc_workload::{
+    ClientSpec, MixWeights, RequestContext, RequestIntent, RequestKind, RequestSampler,
+    WorkloadSpec, WorkloadStream,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::content::ContentCatalog;
 use crate::request::{RequestClass, ServerRequest};
 
 /// Mix of request classes in the background workload, as weights.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct BackgroundMix {
-    /// Weight of HEAD/base-page requests.
-    pub head: f64,
-    /// Weight of small static objects (pages, images).
-    pub static_small: f64,
-    /// Weight of large static objects (downloads).
-    pub static_large: f64,
-    /// Weight of dynamic queries.
-    pub dynamic: f64,
-}
+///
+/// This is [`mfc_workload::MixWeights`] under its historical name; the
+/// serialized form (field names and defaults) is unchanged.
+pub type BackgroundMix = MixWeights;
 
-impl Default for BackgroundMix {
-    fn default() -> Self {
-        // A browsing-dominated mix: mostly pages and images, some queries,
-        // occasional downloads.
-        BackgroundMix {
-            head: 0.05,
-            static_small: 0.65,
-            static_large: 0.05,
-            dynamic: 0.25,
-        }
-    }
-}
-
-/// A Poisson background-traffic source for one server.
+/// A Poisson background-traffic source for one server: the degenerate
+/// workload (constant rate, independent requests) kept for the paper's
+/// scenarios and as the compatibility surface of `SimTargetSpec`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackgroundTraffic {
     /// Mean request rate in requests per second.
@@ -74,6 +72,19 @@ impl BackgroundTraffic {
             rate_per_sec,
             ..BackgroundTraffic::idle()
         }
+    }
+
+    /// The equivalent [`WorkloadSpec`]: one constant-rate Poisson source
+    /// with this mix and client profile.
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        WorkloadSpec::poisson_mix(
+            self.rate_per_sec,
+            self.mix,
+            ClientSpec {
+                downlink: self.client_downlink,
+                rtt: self.client_rtt,
+            },
+        )
     }
 
     /// Generates the background arrivals falling inside `[start, end)`.
@@ -109,94 +120,180 @@ impl BackgroundTraffic {
         id_base: u64,
         rng: &mut SimRng,
     ) -> Vec<ServerRequest> {
-        let mut requests = Vec::new();
         if self.rate_per_sec <= 0.0 || end <= start {
-            return requests;
+            return Vec::new();
         }
-        let mean_gap = 1.0 / self.rate_per_sec;
-        let mut t = start;
-        let mut id = id_base;
-        loop {
-            let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap));
-            // An exponential draw of exactly zero would stall the loop; the
-            // distribution makes this vanishingly rare but guard anyway.
-            let gap = gap.max(SimDuration::from_micros(1));
-            t += gap;
-            if t >= end {
-                break;
-            }
-            requests.push(self.sample_request(catalog, t, id, rng));
-            id += 1;
-        }
+        let spec = self.workload_spec();
+        let sampler = CatalogSampler::background(catalog);
+        let mut stream = WorkloadStream::with_source_rngs(
+            &spec,
+            start,
+            end,
+            id_base,
+            vec![rng.clone()],
+            sampler,
+        );
+        let requests: Vec<ServerRequest> = stream.by_ref().collect();
+        // Hand the advanced RNG back so the caller's stream position is
+        // exactly where the pre-workload generator would have left it.
+        *rng = stream
+            .into_source_rngs()
+            .pop()
+            .expect("the degenerate spec has one source");
         requests
     }
+}
 
-    fn sample_request(
+/// Maps workload request intents onto concrete [`ServerRequest`]s against a
+/// server's [`ContentCatalog`].
+///
+/// The mix path reproduces the pre-workload `BackgroundTraffic` sampling
+/// logic draw for draw (one weighted-choice draw, then one index draw for
+/// the chosen class), which is what keeps the adapter bit-compatible.
+/// Session page views and trace entries use the same catalog buckets with
+/// a base-page fallback when the site lacks the requested class.
+#[derive(Debug)]
+pub struct CatalogSampler<'a> {
+    catalog: &'a ContentCatalog,
+    background: bool,
+}
+
+impl<'a> CatalogSampler<'a> {
+    /// A sampler producing *background* requests (the non-MFC traffic the
+    /// server serves alongside the probes).
+    pub fn background(catalog: &'a ContentCatalog) -> Self {
+        CatalogSampler {
+            catalog,
+            background: true,
+        }
+    }
+
+    /// A sampler producing foreground requests (workload-as-subject
+    /// experiments that drive the engine directly).
+    pub fn foreground(catalog: &'a ContentCatalog) -> Self {
+        CatalogSampler {
+            catalog,
+            background: false,
+        }
+    }
+
+    /// Picks a concrete `(class, path)` from one catalog bucket: one index
+    /// draw when the bucket is non-empty, otherwise the base page with the
+    /// caller's `fallback` class (`Head` on the mix path, a plain `Static`
+    /// GET for session page views).  `BasePage` itself is the fallback
+    /// object and draws nothing.
+    fn pick_bucket(
         &self,
-        catalog: &ContentCatalog,
-        arrival: SimTime,
-        id: u64,
+        kind: RequestKind,
+        fallback: RequestClass,
         rng: &mut SimRng,
-    ) -> ServerRequest {
-        // Weighted selection over the four mix entries; fall back to HEAD
-        // requests if the caller zeroed every weight.
+    ) -> (RequestClass, String) {
+        let base_page = |class: RequestClass| (class, self.catalog.base_page().path.clone());
+        match kind {
+            RequestKind::BasePage => base_page(fallback),
+            RequestKind::StaticSmall => {
+                let small: Vec<&crate::content::ObjectSpec> = self
+                    .catalog
+                    .objects()
+                    .iter()
+                    .filter(|o| !o.kind.is_dynamic() && !o.is_large_object())
+                    .collect();
+                if small.is_empty() {
+                    base_page(fallback)
+                } else {
+                    let index = rng.index(small.len());
+                    (RequestClass::Static, small[index].path.clone())
+                }
+            }
+            RequestKind::StaticLarge => {
+                let large = self.catalog.large_objects();
+                if large.is_empty() {
+                    base_page(fallback)
+                } else {
+                    let index = rng.index(large.len());
+                    (RequestClass::Static, large[index].path.clone())
+                }
+            }
+            RequestKind::Dynamic => {
+                let queries = self.catalog.small_queries();
+                if queries.is_empty() {
+                    base_page(fallback)
+                } else {
+                    let index = rng.index(queries.len());
+                    (RequestClass::Dynamic, queries[index].path.clone())
+                }
+            }
+        }
+    }
+
+    /// A session page view or embedded object: missing buckets fall back
+    /// to a plain GET of the base page.
+    fn pick_kind(&self, kind: RequestKind, rng: &mut SimRng) -> (RequestClass, String) {
+        self.pick_bucket(kind, RequestClass::Static, rng)
+    }
+
+    /// The mix path of the pre-workload generator, preserved draw for
+    /// draw: one weighted-choice draw for the class (skipped for an
+    /// all-zero mix), then the bucket's index draw, with HEAD fallbacks.
+    fn pick_mix(&self, mix: &MixWeights, rng: &mut SimRng) -> (RequestClass, String) {
+        const SLOTS: [RequestKind; 4] = [
+            RequestKind::BasePage,
+            RequestKind::StaticSmall,
+            RequestKind::StaticLarge,
+            RequestKind::Dynamic,
+        ];
         let weights: [(usize, f64); 4] = [
-            (0, self.mix.head),
-            (1, self.mix.static_small),
-            (2, self.mix.static_large),
-            (3, self.mix.dynamic),
+            (0, mix.head),
+            (1, mix.static_small),
+            (2, mix.static_large),
+            (3, mix.dynamic),
         ];
         let slot = if weights.iter().all(|(_, w)| *w <= 0.0) {
             0
         } else {
             *rng.weighted_choice(&weights)
         };
-        let (class, path) = match slot {
-            0 => (RequestClass::Head, catalog.base_page().path.clone()),
-            1 => {
-                let small: Vec<&crate::content::ObjectSpec> = catalog
-                    .objects()
-                    .iter()
-                    .filter(|o| !o.kind.is_dynamic() && !o.is_large_object())
-                    .collect();
-                if small.is_empty() {
-                    (RequestClass::Head, catalog.base_page().path.clone())
+        self.pick_bucket(SLOTS[slot], RequestClass::Head, rng)
+    }
+}
+
+impl RequestSampler for CatalogSampler<'_> {
+    type Request = ServerRequest;
+
+    fn sample(&mut self, ctx: RequestContext<'_>, rng: &mut SimRng) -> ServerRequest {
+        let (class, path) = match ctx.intent {
+            RequestIntent::Mix(mix) => self.pick_mix(mix, rng),
+            RequestIntent::Kind(kind) => self.pick_kind(kind, rng),
+            RequestIntent::Trace(entry) => {
+                if entry.head {
+                    (RequestClass::Head, self.catalog.base_page().path.clone())
                 } else {
-                    let idx = rng.index(small.len());
-                    (RequestClass::Static, small[idx].path.clone())
-                }
-            }
-            2 => {
-                let large = catalog.large_objects();
-                if large.is_empty() {
-                    (RequestClass::Head, catalog.base_page().path.clone())
-                } else {
-                    let idx = rng.index(large.len());
-                    (RequestClass::Static, large[idx].path.clone())
-                }
-            }
-            _ => {
-                let queries = catalog.small_queries();
-                if queries.is_empty() {
-                    (RequestClass::Head, catalog.base_page().path.clone())
-                } else {
-                    let idx = rng.index(queries.len());
-                    (RequestClass::Dynamic, queries[idx].path.clone())
+                    // Replayed paths are issued verbatim; paths the catalog
+                    // does not host come back 404, exactly like replaying a
+                    // mismatched log against a real server.
+                    let class = match self.catalog.lookup(&entry.path) {
+                        Some(object) if object.kind.is_dynamic() => RequestClass::Dynamic,
+                        Some(_) => RequestClass::Static,
+                        None if entry.dynamic => RequestClass::Dynamic,
+                        None => RequestClass::Static,
+                    };
+                    (class, entry.path.clone())
                 }
             }
         };
         ServerRequest {
-            id,
-            arrival,
+            id: ctx.id,
+            arrival: ctx.time,
             class,
             path,
-            client_downlink: self.client_downlink,
-            client_rtt: self.client_rtt,
-            // Background users come from a large, churned population: derive
-            // a source address from the id in a space disjoint from MFC
-            // clients (which use small ClientId values).
-            client_addr: 0x8000_0000 | (id % 4093) as u32,
-            background: true,
+            client_downlink: ctx.downlink,
+            client_rtt: ctx.rtt,
+            // Background users come from a large, churned population:
+            // derive a source address from the synthetic user in a space
+            // disjoint from MFC clients (which use small ClientId values).
+            // A session's requests share one user, hence one address.
+            client_addr: 0x8000_0000 | (ctx.user % 4093) as u32,
+            background: self.background,
         }
     }
 }
@@ -204,6 +301,7 @@ impl BackgroundTraffic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mfc_workload::{ArrivalProcess, RequestModel, SessionModel, SourceKind, SourceSpec};
 
     fn window() -> (SimTime, SimTime) {
         (SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(120))
@@ -299,5 +397,241 @@ mod tests {
         let a = BackgroundTraffic::at_rate(3.0).generate(&catalog, start, end, 0, &mut rng_a);
         let b = BackgroundTraffic::at_rate(3.0).generate(&catalog, start, end, 0, &mut rng_b);
         assert_eq!(a, b);
+    }
+
+    // ---------------------------------------------------------------
+    // The compatibility pin: the adapter must reproduce the
+    // pre-workload generator bit for bit — same requests *and* the same
+    // final RNG state.  `reference_generate` below is a verbatim copy of
+    // the generator this adapter replaced.
+    // ---------------------------------------------------------------
+
+    fn reference_sample_request(
+        bg: &BackgroundTraffic,
+        catalog: &ContentCatalog,
+        arrival: SimTime,
+        id: u64,
+        rng: &mut SimRng,
+    ) -> ServerRequest {
+        let weights: [(usize, f64); 4] = [
+            (0, bg.mix.head),
+            (1, bg.mix.static_small),
+            (2, bg.mix.static_large),
+            (3, bg.mix.dynamic),
+        ];
+        let slot = if weights.iter().all(|(_, w)| *w <= 0.0) {
+            0
+        } else {
+            *rng.weighted_choice(&weights)
+        };
+        let (class, path) = match slot {
+            0 => (RequestClass::Head, catalog.base_page().path.clone()),
+            1 => {
+                let small: Vec<&crate::content::ObjectSpec> = catalog
+                    .objects()
+                    .iter()
+                    .filter(|o| !o.kind.is_dynamic() && !o.is_large_object())
+                    .collect();
+                if small.is_empty() {
+                    (RequestClass::Head, catalog.base_page().path.clone())
+                } else {
+                    let idx = rng.index(small.len());
+                    (RequestClass::Static, small[idx].path.clone())
+                }
+            }
+            2 => {
+                let large = catalog.large_objects();
+                if large.is_empty() {
+                    (RequestClass::Head, catalog.base_page().path.clone())
+                } else {
+                    let idx = rng.index(large.len());
+                    (RequestClass::Static, large[idx].path.clone())
+                }
+            }
+            _ => {
+                let queries = catalog.small_queries();
+                if queries.is_empty() {
+                    (RequestClass::Head, catalog.base_page().path.clone())
+                } else {
+                    let idx = rng.index(queries.len());
+                    (RequestClass::Dynamic, queries[idx].path.clone())
+                }
+            }
+        };
+        ServerRequest {
+            id,
+            arrival,
+            class,
+            path,
+            client_downlink: bg.client_downlink,
+            client_rtt: bg.client_rtt,
+            client_addr: 0x8000_0000 | (id % 4093) as u32,
+            background: true,
+        }
+    }
+
+    fn reference_generate(
+        bg: &BackgroundTraffic,
+        catalog: &ContentCatalog,
+        start: SimTime,
+        end: SimTime,
+        id_base: u64,
+        rng: &mut SimRng,
+    ) -> Vec<ServerRequest> {
+        let mut requests = Vec::new();
+        if bg.rate_per_sec <= 0.0 || end <= start {
+            return requests;
+        }
+        let mean_gap = 1.0 / bg.rate_per_sec;
+        let mut t = start;
+        let mut id = id_base;
+        loop {
+            let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap));
+            let gap = gap.max(SimDuration::from_micros(1));
+            t += gap;
+            if t >= end {
+                break;
+            }
+            requests.push(reference_sample_request(bg, catalog, t, id, rng));
+            id += 1;
+        }
+        requests
+    }
+
+    #[test]
+    fn adapter_is_bit_identical_to_the_reference_generator() {
+        let catalogs = [
+            ContentCatalog::typical_site(1),
+            ContentCatalog::lab_validation(),
+            // A site with no small statics, no large objects and no
+            // queries: exercises every HEAD fallback.
+            ContentCatalog::new(
+                crate::content::ObjectSpec::static_object(
+                    "/only.html",
+                    crate::content::ObjectKind::Text,
+                    2048,
+                ),
+                vec![],
+            ),
+        ];
+        let mixes = [
+            BackgroundMix::default(),
+            MixWeights::downloads(),
+            // Degenerate all-zero mix: the HEAD-only path, no
+            // weighted-choice draw.
+            MixWeights {
+                head: 0.0,
+                static_small: 0.0,
+                static_large: 0.0,
+                dynamic: 0.0,
+            },
+        ];
+        for (catalog_index, catalog) in catalogs.iter().enumerate() {
+            for (mix_index, mix) in mixes.iter().enumerate() {
+                for (seed, rate, window_secs, id_base) in [
+                    (11u64, 0.15, 200u64, 0u64),
+                    (12, 4.2, 120, 1_000_000_000),
+                    (13, 20.3, 60, 77),
+                    (14, 120.0, 30, 5),
+                ] {
+                    let bg = BackgroundTraffic {
+                        rate_per_sec: rate,
+                        mix: *mix,
+                        ..BackgroundTraffic::idle()
+                    };
+                    let start = SimTime::ZERO + SimDuration::from_secs(seed);
+                    let end = start + SimDuration::from_secs(window_secs);
+                    let mut rng_new = SimRng::seed_from(seed * 1000 + rate as u64);
+                    let mut rng_ref = rng_new.clone();
+                    let new = bg.generate(catalog, start, end, id_base, &mut rng_new);
+                    let reference =
+                        reference_generate(&bg, catalog, start, end, id_base, &mut rng_ref);
+                    assert_eq!(
+                        new, reference,
+                        "adapter diverged (catalog {catalog_index}, mix {mix_index}, \
+                         seed {seed}, rate {rate})"
+                    );
+                    // The caller's RNG must also end in the same state.
+                    assert_eq!(
+                        rng_new.next_u64(),
+                        rng_ref.next_u64(),
+                        "RNG state diverged (catalog {catalog_index}, mix {mix_index}, \
+                         seed {seed}, rate {rate})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_spec_round_trips_the_background_parameters() {
+        let bg = BackgroundTraffic::at_rate(6.5);
+        let spec = bg.workload_spec();
+        assert_eq!(spec.sources.len(), 1);
+        assert!((spec.mean_request_rate() - 6.5).abs() < 1e-12);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn session_workloads_share_addresses_within_a_session() {
+        let catalog = ContentCatalog::typical_site(2);
+        let spec = WorkloadSpec::sessions(
+            ArrivalProcess::Poisson { rate_per_sec: 0.3 },
+            SessionModel::browsing(),
+            ClientSpec::default(),
+        );
+        let master = SimRng::seed_from(21);
+        let requests: Vec<ServerRequest> = WorkloadStream::new(
+            &spec,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(600),
+            0,
+            &master,
+            CatalogSampler::background(&catalog),
+        )
+        .collect();
+        assert!(requests.len() > 100, "got {}", requests.len());
+        // Fewer distinct addresses than requests: sessions reuse theirs.
+        let mut addrs: Vec<u32> = requests.iter().map(|r| r.client_addr).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert!(addrs.len() * 2 < requests.len());
+        // Every path resolves (the catalog has all classes).
+        assert!(requests.iter().all(|r| catalog.lookup(&r.path).is_some()));
+        assert!(requests.iter().all(|r| r.background));
+    }
+
+    #[test]
+    fn kind_fallbacks_survive_a_minimal_catalog() {
+        // A base-page-only site: every session kind falls back to the base
+        // page instead of panicking.
+        let catalog = ContentCatalog::new(
+            crate::content::ObjectSpec::static_object(
+                "/home.html",
+                crate::content::ObjectKind::Text,
+                1024,
+            ),
+            vec![],
+        );
+        let spec = WorkloadSpec::empty().with_source(SourceSpec {
+            label: "sessions".to_string(),
+            client: ClientSpec::default(),
+            kind: SourceKind::Open {
+                arrivals: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+                requests: RequestModel::Sessions(SessionModel::browsing()),
+            },
+        });
+        let master = SimRng::seed_from(31);
+        let requests: Vec<ServerRequest> = WorkloadStream::new(
+            &spec,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(120),
+            0,
+            &master,
+            CatalogSampler::background(&catalog),
+        )
+        .collect();
+        assert!(!requests.is_empty());
+        assert!(requests.iter().all(|r| r.path == "/home.html"));
     }
 }

@@ -141,6 +141,34 @@ impl ServerCluster {
         )
     }
 
+    /// [`ServerCluster::run_controlled`] over a lazily generated,
+    /// time-ordered request stream: requests are consumed one at a time as
+    /// the sweep's virtual clock reaches them, so a workload stream of
+    /// millions of sessions drives the cluster without ever materializing
+    /// the request list.  Outcomes are returned in stream (arrival) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the stream is not time-ordered.
+    pub fn run_controlled_streamed<I>(
+        &mut self,
+        requests: I,
+        control: &mut dyn ServerControl,
+    ) -> RunResult
+    where
+        I: IntoIterator<Item = ServerRequest>,
+    {
+        drive_controlled_stream(
+            &self.engine,
+            &mut self.caches,
+            &mut self.active,
+            self.policy,
+            /*allow_scaling=*/ true,
+            requests.into_iter(),
+            control,
+        )
+    }
+
     /// Processes one batch of requests, spreading them over the replicas,
     /// and returns the merged result.
     ///
@@ -453,23 +481,63 @@ pub(crate) fn drive_controlled(
     let total = requests.len();
     let mut order: Vec<usize> = (0..total).collect();
     order.sort_by_key(|&i| (requests[i].arrival, i));
-    let mut requests: Vec<Option<ServerRequest>> = requests.into_iter().map(Some).collect();
-    let mut placement: Vec<Option<Placement>> = (0..total).map(|_| None).collect();
+    let mut slots: Vec<Option<ServerRequest>> = requests.into_iter().map(Some).collect();
+    let sorted = order
+        .iter()
+        .map(|&i| slots[i].take().expect("each request consumed once"));
+    let mut result = drive_controlled_stream(
+        engine,
+        caches,
+        active,
+        policy,
+        allow_scaling,
+        sorted,
+        control,
+    );
+    // The streamed core reports outcomes in fed (arrival) order; put them
+    // back in submission order.
+    let mut outcomes: Vec<Option<RequestOutcome>> = (0..total).map(|_| None).collect();
+    for (fed_index, outcome) in result.outcomes.drain(..).enumerate() {
+        outcomes[order[fed_index]] = Some(outcome);
+    }
+    result.outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every request was placed or shed"))
+        .collect();
+    result
+}
+
+/// The iterator-driven core of the controlled sweep: requests are consumed
+/// lazily in arrival order (a workload stream never has to materialize),
+/// and outcomes are reported in the order they were fed.
+pub(crate) fn drive_controlled_stream(
+    engine: &ServerEngine,
+    caches: &mut Vec<CacheState>,
+    active: &mut usize,
+    policy: BalancePolicy,
+    allow_scaling: bool,
+    requests: impl Iterator<Item = ServerRequest>,
+    control: &mut dyn ServerControl,
+) -> RunResult {
+    let mut requests = requests.peekable();
+    let mut placement: Vec<Placement> = Vec::new();
     let mut rr_counter = 0usize;
     let mut shed_log: Vec<ArrivalRecord> = Vec::new();
 
     let tick = control.tick_interval();
-    let t0 = order
-        .first()
-        .map(|&i| requests[i].as_ref().expect("unconsumed").arrival)
-        .unwrap_or(SimTime::ZERO);
+    let t0 = requests.peek().map(|r| r.arrival).unwrap_or(SimTime::ZERO);
     let mut next_tick = tick.map(|d| t0 + d);
     let mut drive = DriveState::new(engine, caches, *active, allow_scaling, t0);
 
     // Arrival sweep.
-    for &idx in &order {
-        let req = requests[idx].take().expect("each request consumed once");
+    let mut last_arrival = t0;
+    for req in requests {
         let arrival = req.arrival;
+        debug_assert!(
+            arrival >= last_arrival,
+            "controlled stream must be fed in arrival order"
+        );
+        last_arrival = arrival;
         while let (Some(d), Some(at)) = (tick, next_tick) {
             if at > arrival {
                 break;
@@ -486,7 +554,7 @@ pub(crate) fn drive_controlled(
                     arrival,
                     background: req.background,
                 });
-                placement[idx] = Some(Placement::Shed(RequestOutcome {
+                placement.push(Placement::Shed(RequestOutcome {
                     id: req.id,
                     arrival,
                     status: RequestStatus::Shed,
@@ -504,7 +572,7 @@ pub(crate) fn drive_controlled(
                 }
                 let replica = drive.route(policy, &mut rr_counter, &req);
                 drive.ensure_session(replica);
-                placement[idx] = Some(Placement::Routed(replica, drive.sessions[replica].pushed()));
+                placement.push(Placement::Routed(replica, drive.sessions[replica].pushed()));
                 drive.sessions[replica].push_request(req);
             }
         }
@@ -545,9 +613,9 @@ pub(crate) fn drive_controlled(
         replica_results.push(result);
     }
 
-    let mut outcomes = Vec::with_capacity(total);
+    let mut outcomes = Vec::with_capacity(placement.len());
     for slot in placement {
-        match slot.expect("every request was placed or shed") {
+        match slot {
             Placement::Routed(replica, local) => {
                 outcomes.push(replica_results[replica].outcomes[local].clone());
             }

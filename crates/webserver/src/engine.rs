@@ -134,6 +134,42 @@ impl ServerEngine {
         result
     }
 
+    /// Processes a lazily generated, time-ordered request stream to
+    /// completion without materializing it first: each request is pushed as
+    /// the session's virtual clock reaches its arrival, so the pending
+    /// event set stays bounded by the in-flight load instead of the total
+    /// request count.  This is how a workload stream of millions of
+    /// sessions runs through the engine.
+    ///
+    /// Requests must arrive in non-decreasing arrival order (a
+    /// [`mfc_workload::WorkloadStream`] is by construction).  Outcomes come
+    /// back in the order the stream produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the stream is not time-ordered.
+    pub fn run_streamed<I>(&self, requests: I, cache: &mut CacheState) -> RunResult
+    where
+        I: IntoIterator<Item = ServerRequest>,
+    {
+        let mut session = self.session(std::mem::replace(cache, CacheState::new()));
+        let mut last_arrival: Option<SimTime> = None;
+        for request in requests {
+            debug_assert!(
+                last_arrival.is_none_or(|t| request.arrival >= t),
+                "streamed requests must be time-ordered"
+            );
+            last_arrival = Some(request.arrival);
+            // Retire everything the server finished before this arrival,
+            // then admit it.
+            session.run_until(request.arrival);
+            session.push_request(request);
+        }
+        let (result, warmed) = session.finish();
+        *cache = warmed;
+        result
+    }
+
     /// Processes a batch of requests with a [`ServerControl`] loop attached:
     /// the control sees every arrival (and may shed or throttle it) and a
     /// telemetry tick at its configured interval, through which it can

@@ -39,7 +39,7 @@ pub mod resource;
 pub mod synthetic;
 pub mod telemetry;
 
-pub use background::BackgroundTraffic;
+pub use background::{BackgroundMix, BackgroundTraffic, CatalogSampler};
 pub use cache::CacheState;
 pub use cluster::{BalancePolicy, ServerCluster};
 pub use config::{
@@ -53,3 +53,4 @@ pub use synthetic::{ResponseModel, SyntheticServer};
 pub use telemetry::UtilizationReport;
 
 pub use mfc_topology::{TopologySpec, TransitSpec};
+pub use mfc_workload::{WorkloadSpec, WorkloadStream};

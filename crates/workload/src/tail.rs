@@ -1,0 +1,213 @@
+//! Heavy-tailed scalar distributions with analytic quantiles.
+//!
+//! Web workload characterization consistently finds heavy tails: object
+//! sizes, think times and session lengths are log-normal or Pareto rather
+//! than exponential (Aghili et al., arXiv:2409.12299).  The workload spec
+//! names its distributions explicitly so that a generated population can be
+//! *checked* against the spec — [`TailDistribution::quantile`] gives the
+//! exact inverse CDF the property tests compare empirical samples to.
+
+use mfc_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A named heavy-tailed (or degenerate) distribution over positive reals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TailDistribution {
+    /// Every draw returns exactly this value.
+    Constant {
+        /// The value.
+        value: f64,
+    },
+    /// Log-normal parameterised by its *median* (`exp(mu)`) and the standard
+    /// deviation `sigma` of the underlying normal — the parameterisation
+    /// operators think in ("typical think time 8 s, a long tail").
+    LogNormal {
+        /// Median of the distribution (`exp(mu)`).
+        median: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Pareto with scale `x_min` and shape `alpha` (smaller `alpha` =
+    /// heavier tail; `alpha <= 1` has infinite mean).
+    Pareto {
+        /// Scale (minimum value).
+        x_min: f64,
+        /// Shape.
+        alpha: f64,
+    },
+}
+
+impl TailDistribution {
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            TailDistribution::Constant { value } => value,
+            TailDistribution::LogNormal { median, sigma } => {
+                rng.log_normal(median.max(f64::MIN_POSITIVE).ln(), sigma.max(0.0))
+            }
+            TailDistribution::Pareto { x_min, alpha } => rng.pareto(x_min, alpha),
+        }
+    }
+
+    /// The exact `q`-quantile (inverse CDF), for `q` in `(0, 1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mfc_workload::TailDistribution;
+    ///
+    /// let d = TailDistribution::Pareto { x_min: 100.0, alpha: 1.2 };
+    /// // The median of a Pareto is x_min * 2^(1/alpha).
+    /// assert!((d.quantile(0.5) - 100.0 * 2f64.powf(1.0 / 1.2)).abs() < 1e-9);
+    /// ```
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(f64::EPSILON, 1.0 - f64::EPSILON);
+        match *self {
+            TailDistribution::Constant { value } => value,
+            TailDistribution::LogNormal { median, sigma } => {
+                median * (sigma.max(0.0) * normal_quantile(q)).exp()
+            }
+            TailDistribution::Pareto { x_min, alpha } => x_min / (1.0 - q).powf(1.0 / alpha),
+        }
+    }
+
+    /// Basic sanity checks (used by [`crate::WorkloadSpec::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            TailDistribution::Constant { value } if value < 0.0 => {
+                Err(format!("constant distribution is negative: {value}"))
+            }
+            TailDistribution::LogNormal { median, sigma } if median <= 0.0 || sigma < 0.0 => Err(
+                format!("log-normal needs median > 0 and sigma >= 0: {median}, {sigma}"),
+            ),
+            TailDistribution::Pareto { x_min, alpha } if x_min <= 0.0 || alpha <= 0.0 => Err(
+                format!("pareto needs x_min > 0 and alpha > 0: {x_min}, {alpha}"),
+            ),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The standard normal quantile function (Acklam's rational approximation,
+/// relative error below 1.15e-9 — far tighter than any tolerance the
+/// property tests use).
+fn normal_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_matches_known_points() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lognormal_median_is_the_median() {
+        let d = TailDistribution::LogNormal {
+            median: 8.0,
+            sigma: 1.1,
+        };
+        assert!((d.quantile(0.5) - 8.0).abs() < 1e-9);
+        // Heavy upper tail: p99 far above the median.
+        assert!(d.quantile(0.99) > 8.0 * 5.0);
+    }
+
+    #[test]
+    fn pareto_quantiles_are_exact() {
+        let d = TailDistribution::Pareto {
+            x_min: 50.0,
+            alpha: 1.5,
+        };
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let x = d.quantile(q);
+            // CDF(x) = 1 - (x_min/x)^alpha must equal q.
+            let cdf = 1.0 - (50.0 / x).powf(1.5);
+            assert!((cdf - q).abs() < 1e-9, "q={q} x={x} cdf={cdf}");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_supports() {
+        let mut rng = SimRng::seed_from(7);
+        let pareto = TailDistribution::Pareto {
+            x_min: 10.0,
+            alpha: 1.2,
+        };
+        for _ in 0..1000 {
+            assert!(pareto.sample(&mut rng) >= 10.0);
+        }
+        let constant = TailDistribution::Constant { value: 3.5 };
+        assert_eq!(constant.sample(&mut rng), 3.5);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        assert!(TailDistribution::Constant { value: -1.0 }
+            .validate()
+            .is_err());
+        assert!(TailDistribution::LogNormal {
+            median: 0.0,
+            sigma: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(TailDistribution::Pareto {
+            x_min: 1.0,
+            alpha: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(TailDistribution::LogNormal {
+            median: 2.0,
+            sigma: 0.5
+        }
+        .validate()
+        .is_ok());
+    }
+}

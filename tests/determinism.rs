@@ -128,3 +128,36 @@ fn runner_defaults_respect_the_env_contract() {
     assert_eq!(TrialRunner::serial().threads(), 1);
     assert_eq!(TrialRunner::with_threads(5).threads(), 5);
 }
+
+#[test]
+fn workload_survey_is_byte_identical_across_thread_counts() {
+    // The workload subsystem sits under every trial: diurnal browsing
+    // sessions per site, streamed through the merged heap.  The guarantee
+    // is unchanged — thread count must be unobservable bit for bit.
+    let config = SurveyConfig::quick(SiteClass::Rank10KTo100K, Stage::LargeObject, 8)
+        .with_session_background();
+    let serial = survey_json(SiteClass::Rank10KTo100K, &config, &TrialRunner::serial());
+    for threads in [2, 8] {
+        let parallel = survey_json(
+            SiteClass::Rank10KTo100K,
+            &config,
+            &TrialRunner::with_threads(threads),
+        );
+        assert_eq!(
+            serial, parallel,
+            "workload survey output changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_workload_runs_are_stable() {
+    // A fixed flash-crowd workload (the scenario-matrix shape) applied to
+    // every surveyed site, on a many-threaded runner, twice.
+    let workload = SiteClass::session_workload(2.0);
+    let config = SurveyConfig::quick(SiteClass::Startup, Stage::Base, 6).with_workload(workload);
+    let runner = TrialRunner::with_threads(6);
+    let first = survey_json(SiteClass::Startup, &config, &runner);
+    let second = survey_json(SiteClass::Startup, &config, &runner);
+    assert_eq!(first, second);
+}

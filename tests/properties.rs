@@ -1154,3 +1154,200 @@ fn engine_accounts_for_every_request() {
         }
     }
 }
+
+// -------------------------------------------------------------------
+// Workload generation: arrival streams hit their configured rates,
+// heavy-tailed size specs are honoured, and the streamed engine entry
+// points agree with the batch ones.
+// -------------------------------------------------------------------
+
+#[test]
+fn workload_arrival_streams_hit_their_configured_mean_rates() {
+    use mfc_workload::{
+        ArrivalProcess, ClientSpec, KindSampler, MixWeights, MmppState, WorkloadSpec,
+        WorkloadStream,
+    };
+    let processes: Vec<ArrivalProcess> = vec![
+        ArrivalProcess::Poisson { rate_per_sec: 6.0 },
+        ArrivalProcess::diurnal(4.0, 0.8, 300.0, 12),
+        ArrivalProcess::Mmpp {
+            states: vec![
+                MmppState {
+                    rate_per_sec: 0.5,
+                    mean_dwell_secs: 12.0,
+                },
+                MmppState {
+                    rate_per_sec: 25.0,
+                    mean_dwell_secs: 2.5,
+                },
+            ],
+        },
+        ArrivalProcess::FlashCrowd {
+            base_rate: 1.0,
+            peak_rate: 30.0,
+            onset_secs: 200.0,
+            ramp_secs: 40.0,
+            hold_secs: 120.0,
+            decay_secs: 40.0,
+        },
+    ];
+    let start = SimTime::ZERO;
+    let end = SimTime::ZERO + SimDuration::from_secs(6_000);
+    for (index, process) in processes.into_iter().enumerate() {
+        let expected = process.expected_count(start, end);
+        let spec = WorkloadSpec::poisson_mix(0.0, MixWeights::default(), ClientSpec::default());
+        let mut spec = spec;
+        // Swap the arrival process in (poisson_mix built the shell).
+        if let mfc_workload::SourceKind::Open { arrivals, .. } = &mut spec.sources[0].kind {
+            *arrivals = process;
+        }
+        let master = SimRng::seed_from(0x0601 + index as u64);
+        let count = WorkloadStream::new(&spec, start, end, 0, &master, KindSampler).count() as f64;
+        assert!(
+            (count - expected).abs() < 0.12 * expected.max(50.0),
+            "process {index}: generated {count} arrivals, expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn heavy_tailed_catalog_sizes_match_the_spec_quantiles() {
+    use mfc_workload::TailDistribution;
+    let specs = [
+        TailDistribution::Pareto {
+            x_min: 20_000.0,
+            alpha: 1.3,
+        },
+        TailDistribution::LogNormal {
+            median: 30_000.0,
+            sigma: 1.4,
+        },
+    ];
+    for (index, sizes) in specs.iter().enumerate() {
+        let mut rng = SimRng::seed_from(0x0611 + index as u64);
+        let catalog = ContentCatalog::heavy_tailed_site(9, 4_000, sizes, &mut rng);
+        let mut drawn: Vec<f64> = catalog
+            .objects()
+            .iter()
+            .filter(|o| !o.kind.is_dynamic())
+            .map(|o| o.size_bytes as f64)
+            .collect();
+        assert_eq!(drawn.len(), 4_000);
+        drawn.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.25, 0.5, 0.75, 0.9] {
+            let empirical = drawn[((drawn.len() - 1) as f64 * q) as usize];
+            let analytic = sizes.quantile(q);
+            assert!(
+                (empirical - analytic).abs() < 0.12 * analytic,
+                "spec {index} q{q}: empirical {empirical} vs analytic {analytic}"
+            );
+        }
+        // The tail is genuinely heavy: the max dwarfs the median.
+        assert!(drawn[drawn.len() - 1] > 10.0 * sizes.quantile(0.5));
+    }
+}
+
+#[test]
+fn streamed_engine_run_matches_the_batch_run() {
+    // Arrivals spaced so no two events ever coincide: the streamed feed
+    // (push interleaved with stepping) must then reproduce the batch run
+    // outcome for outcome.
+    let mut rng = SimRng::seed_from(0x0621);
+    for _ in 0..16 {
+        let crowd = rng.index(40) + 2;
+        let engine =
+            ServerEngine::new(ServerConfig::lab_apache(), ContentCatalog::lab_validation());
+        let requests: Vec<ServerRequest> = (0..crowd)
+            .map(|i| ServerRequest {
+                id: i as u64,
+                arrival: SimTime::from_micros(i as u64 * 10_000 + rng.uniform_u64(0, 7_919)),
+                class: RequestClass::Head,
+                path: "/index.html".to_string(),
+                client_downlink: 1e7,
+                client_rtt: SimDuration::from_millis(40),
+                client_addr: i as u32,
+                background: false,
+            })
+            .collect();
+        let mut requests = requests;
+        requests.sort_by_key(|r| r.arrival);
+        let mut batch_cache = CacheState::new();
+        let batch = engine.run(requests.clone(), &mut batch_cache);
+        let mut stream_cache = CacheState::new();
+        let streamed = engine.run_streamed(requests, &mut stream_cache);
+        assert_eq!(batch.outcomes, streamed.outcomes);
+        assert_eq!(batch.arrival_log, streamed.arrival_log);
+    }
+}
+
+#[test]
+fn streamed_cluster_run_matches_the_batch_controlled_run() {
+    use mfc_webserver::{NullControl, ServerCluster};
+    let mut rng = SimRng::seed_from(0x0622);
+    for _ in 0..8 {
+        let crowd = rng.index(30) + 2;
+        let requests: Vec<ServerRequest> = (0..crowd)
+            .map(|i| ServerRequest {
+                id: i as u64,
+                arrival: SimTime::from_micros(i as u64 * 15_000 + rng.uniform_u64(0, 9_973)),
+                class: RequestClass::Head,
+                path: "/index.html".to_string(),
+                client_downlink: 1e7,
+                client_rtt: SimDuration::from_millis(40),
+                client_addr: i as u32,
+                background: false,
+            })
+            .collect();
+        let mut requests = requests;
+        requests.sort_by_key(|r| r.arrival);
+        let make = || {
+            ServerCluster::new(
+                ServerConfig::commercial_frontend(),
+                ContentCatalog::typical_site(1),
+                3,
+            )
+        };
+        let batch = make().run_controlled(requests.clone(), &mut NullControl);
+        let streamed = make().run_controlled_streamed(requests, &mut NullControl);
+        // Inputs were fed in arrival order, so both report the same order.
+        assert_eq!(batch.outcomes, streamed.outcomes);
+        assert_eq!(batch.arrival_log, streamed.arrival_log);
+        assert_eq!(batch.utilization, streamed.utilization);
+    }
+}
+
+#[test]
+fn workload_stream_is_identical_across_trial_runner_thread_counts() {
+    use mfc_core::runner::TrialRunner;
+    use mfc_webserver::CatalogSampler;
+    use mfc_workload::{ArrivalProcess, ClientSpec, SessionModel, WorkloadSpec, WorkloadStream};
+
+    // The stream never observes thread context: generating the same spec
+    // inside differently-sized trial-runner pools must be bit-identical.
+    let generate = |threads: usize| -> Vec<String> {
+        let runner = if threads == 1 {
+            TrialRunner::serial()
+        } else {
+            TrialRunner::with_threads(threads)
+        };
+        runner.run(vec![0u8; 4], |trial, _| {
+            let spec = WorkloadSpec::sessions(
+                ArrivalProcess::diurnal(2.0, 0.7, 240.0, 8),
+                SessionModel::browsing(),
+                ClientSpec::default(),
+            );
+            let catalog = ContentCatalog::typical_site(3);
+            let requests: Vec<ServerRequest> = WorkloadStream::new(
+                &spec,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_secs(600),
+                1_000,
+                &SimRng::seed_from(trial as u64),
+                CatalogSampler::background(&catalog),
+            )
+            .collect();
+            format!("{requests:?}")
+        })
+    };
+    assert_eq!(generate(1), generate(8));
+}
